@@ -1,0 +1,139 @@
+// Command locopt computes the optimal location-update threshold distance
+// for a mobile terminal under the delay-constrained paging mechanism:
+//
+//	locopt -model 2d -q 0.05 -c 0.01 -U 100 -V 10 -m 3
+//
+// It prints the optimal threshold d*, the cost breakdown, the expected
+// paging delay, and optionally the whole cost curve (-curve). The
+// optimization method is selectable: exhaustive scan (default), the
+// paper's simulated annealing (-method anneal) or the cheap near-optimal
+// closed-form pipeline (-method near).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/svgplot"
+	"repro/locman"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("locopt: ")
+
+	model := flag.String("model", "2d", "mobility model: 1d, 2d or 2d-approx")
+	q := flag.Float64("q", 0.05, "per-slot movement probability")
+	c := flag.Float64("c", 0.01, "per-slot call-arrival probability")
+	u := flag.Float64("U", 100, "location-update cost")
+	v := flag.Float64("V", 10, "per-cell polling cost")
+	m := flag.Int("m", 0, "maximum paging delay in polling cycles (0 = unbounded)")
+	maxD := flag.Int("maxd", 0, "scan bound for the threshold (0 = default 200)")
+	schemeName := flag.String("scheme", "sdf", "paging partition: sdf, blanket, per-ring, equal-cells, optimal-dp")
+	method := flag.String("method", "scan", "optimizer: scan, anneal, near, grouped or mean-delay")
+	meanDelay := flag.Float64("mean-delay", 1.5, "expected-delay budget in cycles for -method mean-delay")
+	seed := flag.Int64("seed", 1, "random seed for -method anneal")
+	curve := flag.Bool("curve", false, "print the full cost curve C_T(d)")
+	mapOut := flag.String("map", "", "write an SVG map of the optimal residing-area paging plan (2-D models)")
+	flag.Parse()
+
+	var mdl locman.Model
+	switch *model {
+	case "1d":
+		mdl = locman.OneDimensional
+	case "2d":
+		mdl = locman.TwoDimensional
+	case "2d-approx":
+		mdl = locman.TwoDimensionalApprox
+	default:
+		log.Fatalf("unknown model %q (want 1d, 2d or 2d-approx)", *model)
+	}
+	scheme, err := locman.PartitionByName(*schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := locman.Config{
+		Model:        mdl,
+		MoveProb:     *q,
+		CallProb:     *c,
+		UpdateCost:   *u,
+		PollCost:     *v,
+		MaxDelay:     *m,
+		MaxThreshold: *maxD,
+		Partition:    scheme,
+	}
+
+	var res locman.Result
+	switch *method {
+	case "scan":
+		res, err = locman.Optimize(cfg)
+	case "anneal":
+		res, err = locman.OptimizeAnneal(cfg, locman.AnnealOptions{Seed: *seed})
+	case "near":
+		res, err = locman.NearOptimal(cfg, true)
+	case "grouped":
+		res, err = locman.OptimizeGrouped(cfg)
+	case "mean-delay":
+		res, err = locman.OptimizeMeanDelay(cfg, *meanDelay)
+	default:
+		log.Fatalf("unknown method %q (want scan, anneal, near, grouped or mean-delay)", *method)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b := res.Best
+	fmt.Printf("model           %s\n", *model)
+	fmt.Printf("q, c            %g, %g\n", *q, *c)
+	fmt.Printf("U, V            %g, %g\n", *u, *v)
+	if *m == 0 {
+		fmt.Printf("max delay       unbounded\n")
+	} else {
+		fmt.Printf("max delay       %d polling cycles\n", *m)
+	}
+	fmt.Printf("partition       %s\n", scheme.Name())
+	fmt.Printf("optimal d*      %d\n", b.Threshold)
+	fmt.Printf("update cost     %.6f per slot\n", b.Update)
+	fmt.Printf("paging cost     %.6f per slot\n", b.Paging)
+	fmt.Printf("total cost      %.6f per slot\n", b.Total)
+	fmt.Printf("expected delay  %.3f cycles (worst case %d)\n", b.ExpectedDelay, b.MaxCycles)
+	fmt.Printf("evaluations     %d\n", res.Evaluations)
+
+	if *curve && res.Curve != nil {
+		fmt.Println("\nd  C_T(d)")
+		for d, v := range res.Curve {
+			marker := ""
+			if d == b.Threshold {
+				marker = "  <-- d*"
+			}
+			fmt.Fprintf(os.Stdout, "%-3d%.6f%s\n", d, v, marker)
+		}
+	}
+
+	if *mapOut != "" {
+		if mdl == locman.OneDimensional {
+			log.Fatal("-map requires a 2-D model")
+		}
+		mcfg := cfg
+		mcfg.MaxDelay = b.MaxCycles // the plan actually chosen
+		rc, err := locman.RingCycles(mcfg, b.Threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*mapOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		title := fmt.Sprintf("residing area d=%d, %d polling cycles (%s)", b.Threshold, b.MaxCycles, scheme.Name())
+		if err := svgplot.HexMap(f, title, b.Threshold, rc); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\npaging plan map written to %s\n", *mapOut)
+	}
+}

@@ -1,0 +1,258 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section (Section 7) and prints them as plain text, with the
+// published values alongside for comparison:
+//
+//	paperfigs -exp table1     # Table 1 (1-D optimal thresholds and costs)
+//	paperfigs -exp table2     # Table 2 (2-D exact vs near-optimal)
+//	paperfigs -exp fig4a      # Figure 4(a): cost vs movement probability, 1-D
+//	paperfigs -exp fig4b      # Figure 4(b): cost vs movement probability, 2-D
+//	paperfigs -exp fig5a      # Figure 5(a): cost vs call probability, 1-D
+//	paperfigs -exp fig5b      # Figure 5(b): cost vs call probability, 2-D
+//	paperfigs -exp all        # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/paperdata"
+	"repro/internal/svgplot"
+	"repro/internal/sweep"
+	"repro/internal/table"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperfigs: ")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig4a, fig4b, fig5a, fig5b or all")
+	svgDir := flag.String("svg", "", "also write the figures as SVG charts into this directory")
+	flag.Parse()
+
+	out := os.Stdout
+	run := map[string]func(io.Writer) error{
+		"table1": Table1,
+		"table2": Table2,
+		"fig4a":  func(w io.Writer) error { return Figure(w, "4a", chain.OneDim, true) },
+		"fig4b":  func(w io.Writer) error { return Figure(w, "4b", chain.TwoDimExact, true) },
+		"fig5a":  func(w io.Writer) error { return Figure(w, "5a", chain.OneDim, false) },
+		"fig5b":  func(w io.Writer) error { return Figure(w, "5b", chain.TwoDimExact, false) },
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "table2", "fig4a", "fig4b", "fig5a", "fig5b"}
+	}
+	for _, name := range names {
+		fn, ok := run[name]
+		if !ok {
+			log.Fatalf("unknown experiment %q", name)
+		}
+		if err := fn(out); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintln(out)
+		if *svgDir != "" && strings.HasPrefix(name, "fig") {
+			if err := writeSVG(*svgDir, name); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// writeSVG renders one figure into dir/<name>.svg.
+func writeSVG(dir, name string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	model := chain.OneDim
+	if strings.HasSuffix(name, "b") {
+		model = chain.TwoDimExact
+	}
+	sweepQ := strings.HasPrefix(name, "fig4")
+	f, err := os.Create(filepath.Join(dir, name+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := FigureSVG(f, strings.TrimPrefix(name, "fig"), model, sweepQ); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func delayName(m int) string {
+	if m == 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("m=%d", m)
+}
+
+// Table1 reproduces the paper's Table 1: the 1-D model with c=0.01,
+// q=0.05, V=10 and U swept over three decades, for maximum paging delays
+// 1, 2, 3 and unbounded. The published numbers require the legacy d=0
+// update rate (DESIGN.md §4), which is what this harness uses.
+func Table1(w io.Writer) error {
+	fmt.Fprintln(w, "Table 1: Optimal Threshold Distance and Average Total Cost, 1-D model")
+	fmt.Fprintln(w, "(columns: ours vs [paper]; c=0.01, q=0.05, V=10, legacy d=0 rate)")
+	headers := []string{"U"}
+	for _, m := range paperdata.Table1Delays {
+		headers = append(headers,
+			delayName(m)+" d*", "[d*]",
+			delayName(m)+" C_T", "[C_T]")
+	}
+	t := table.New(headers...)
+	for _, row := range paperdata.Table1 {
+		cells := []string{fmt.Sprintf("%.0f", row.U)}
+		for col, m := range paperdata.Table1Delays {
+			cfg := core.Config{
+				Model:          chain.OneDim,
+				Params:         chain.Params{Q: paperdata.TableMoveProb, C: paperdata.TableCallProb},
+				Costs:          core.Costs{Update: row.U, Poll: paperdata.TablePollCost},
+				MaxDelay:       m,
+				LegacyZeroRate: true,
+			}
+			res, err := core.Scan(cfg, 100)
+			if err != nil {
+				return err
+			}
+			cells = append(cells,
+				fmt.Sprintf("%d", res.Best.Threshold),
+				fmt.Sprintf("[%d]", row.D[col]),
+				fmt.Sprintf("%.3f", res.Best.Total),
+				fmt.Sprintf("[%.3f]", row.CT[col]))
+		}
+		t.AddRow(cells...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// Table2 reproduces the paper's Table 2: the 2-D model, exact optimum
+// (d*, C_T) against the uncorrected near-optimal pipeline (d′, C′_T).
+func Table2(w io.Writer) error {
+	fmt.Fprintln(w, "Table 2: Optimal Threshold Distance and Average Total Cost, 2-D model")
+	fmt.Fprintln(w, "(columns: ours vs [paper]; c=0.01, q=0.05, V=10)")
+	headers := []string{"U"}
+	for _, m := range paperdata.Table2Delays {
+		n := delayName(m)
+		headers = append(headers,
+			n+" d*", "[d*]", n+" d'", "[d']",
+			n+" C_T", "[C_T]", n+" C'_T", "[C'_T]")
+	}
+	t := table.New(headers...)
+	for _, row := range paperdata.Table2 {
+		cells := []string{fmt.Sprintf("%.0f", row.U)}
+		for col, m := range paperdata.Table2Delays {
+			params := chain.Params{Q: paperdata.TableMoveProb, C: paperdata.TableCallProb}
+			costs := core.Costs{Update: row.U, Poll: paperdata.TablePollCost}
+			exactCfg := core.Config{Model: chain.TwoDimExact, Params: params, Costs: costs, MaxDelay: m}
+			exact, err := core.Scan(exactCfg, 60)
+			if err != nil {
+				return err
+			}
+			nearCfg := exactCfg
+			nearCfg.LegacyZeroRate = true
+			near, err := core.NearOptimal(nearCfg, 60, false)
+			if err != nil {
+				return err
+			}
+			cell := row.Cells[col]
+			cells = append(cells,
+				fmt.Sprintf("%d", exact.Best.Threshold), fmt.Sprintf("[%d]", cell.DStar),
+				fmt.Sprintf("%d", near.Best.Threshold), fmt.Sprintf("[%d]", cell.DNear),
+				fmt.Sprintf("%.3f", exact.Best.Total), fmt.Sprintf("[%.3f]", cell.CT),
+				fmt.Sprintf("%.3f", near.Best.Total), fmt.Sprintf("[%.3f]", cell.CTNear))
+		}
+		t.AddRow(cells...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// figureData computes one figure's curves: the optimal average total cost
+// C_T(d*(·,m), m) as the movement probability (sweepQ) or the call-arrival
+// probability varies, for maximum paging delays 1, 2, 3 and unbounded.
+// Costs: U=100, V=1.
+func figureData(model chain.Model, sweepQ bool) (xs []float64, names []string, curves map[string][]float64, err error) {
+	xs = paperdata.Fig4MoveProbs
+	if !sweepQ {
+		xs = paperdata.Fig5CallProbs
+	}
+	// All (delay, x) grid points are independent; fan them out.
+	n := len(paperdata.FigDelays) * len(xs)
+	flat, err := sweep.Map(n, 0, func(k int) (float64, error) {
+		m := paperdata.FigDelays[k/len(xs)]
+		x := xs[k%len(xs)]
+		params := chain.Params{Q: x, C: paperdata.Fig4CallProb}
+		if !sweepQ {
+			params = chain.Params{Q: paperdata.Fig5MoveProb, C: x}
+		}
+		cfg := core.Config{
+			Model:    model,
+			Params:   params,
+			Costs:    core.Costs{Update: paperdata.FigUpdateCost, Poll: paperdata.FigPollCost},
+			MaxDelay: m,
+		}
+		res, err := core.Scan(cfg, 100)
+		if err != nil {
+			return 0, err
+		}
+		return res.Best.Total, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	curves = make(map[string][]float64)
+	for mi, m := range paperdata.FigDelays {
+		name := delayName(m)
+		names = append(names, name)
+		curves[name] = flat[mi*len(xs) : (mi+1)*len(xs)]
+	}
+	return xs, names, curves, nil
+}
+
+// Figure prints one of the paper's figures as a plain-text series table.
+func Figure(w io.Writer, name string, model chain.Model, sweepQ bool) error {
+	xs, names, curves, err := figureData(model, sweepQ)
+	if err != nil {
+		return err
+	}
+	xLabel, which := "q", "movement probability"
+	if !sweepQ {
+		xLabel, which = "c", "call arrival probability"
+	}
+	fmt.Fprintf(w, "Figure %s: optimal average total cost vs %s (%v model; c/q fixed per paper, U=100, V=1)\n",
+		name, which, model)
+	return table.Series(w, xLabel, xs, names, curves)
+}
+
+// FigureSVG renders one of the paper's figures as an SVG line chart with a
+// log-scaled probability axis, matching the paper's presentation.
+func FigureSVG(w io.Writer, name string, model chain.Model, sweepQ bool) error {
+	xs, names, curves, err := figureData(model, sweepQ)
+	if err != nil {
+		return err
+	}
+	xLabel := "probability of moving (q)"
+	if !sweepQ {
+		xLabel = "call arrival probability (c)"
+	}
+	p := &svgplot.Plot{
+		Title:  fmt.Sprintf("Figure %s — %v model", name, model),
+		XLabel: xLabel,
+		YLabel: "average total cost",
+		LogX:   true,
+	}
+	for _, n := range names {
+		if err := p.Line("max delay "+n, xs, curves[n]); err != nil {
+			return err
+		}
+	}
+	return p.WriteSVG(w)
+}

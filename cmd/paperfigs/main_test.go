@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/xml"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/paperdata"
+)
+
+func TestTable1OutputMatchesPaperColumnwise(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header (2) + rule (1) ... actually: 2 description lines + header +
+	// rule + data rows.
+	if got, want := len(lines), 4+len(paperdata.Table1); got != want {
+		t.Fatalf("%d lines, want %d:\n%s", got, want, out)
+	}
+	// Every measured cell is immediately followed by the identical paper
+	// value in brackets.
+	for _, line := range lines[4:] {
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if strings.HasPrefix(f, "[") {
+				want := strings.Trim(f, "[]")
+				if fields[i-1] != want {
+					t.Errorf("mismatch in row %q: %s vs %s", fields[0], fields[i-1], f)
+				}
+			}
+		}
+	}
+}
+
+func TestTable2OutputMatchesPaperColumnwise(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if got, want := len(lines), 4+len(paperdata.Table2); got != want {
+		t.Fatalf("%d lines, want %d", got, want)
+	}
+	for _, line := range lines[4:] {
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if strings.HasPrefix(f, "[") {
+				want := strings.Trim(f, "[]")
+				if fields[i-1] != want {
+					t.Errorf("mismatch in row %q: %s vs %s", fields[0], fields[i-1], f)
+				}
+			}
+		}
+	}
+}
+
+func TestFigureSeriesShape(t *testing.T) {
+	for _, tc := range []struct {
+		model  chain.Model
+		sweepQ bool
+	}{
+		{chain.OneDim, true},
+		{chain.TwoDimExact, true},
+		{chain.OneDim, false},
+		{chain.TwoDimExact, false},
+	} {
+		xs, names, curves, err := figureData(tc.model, tc.sweepQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 4 {
+			t.Fatalf("%d delay curves", len(names))
+		}
+		// The four delay curves are ordered: for every x,
+		// C(m=1) ≥ C(m=2) ≥ C(m=3) ≥ C(unbounded).
+		for i := range xs {
+			for j := 1; j < len(names); j++ {
+				hi := curves[names[j-1]][i]
+				lo := curves[names[j]][i]
+				if lo > hi+1e-9 {
+					t.Errorf("%v sweepQ=%v x=%v: %s (%v) above %s (%v)",
+						tc.model, tc.sweepQ, xs[i], names[j], lo, names[j-1], hi)
+				}
+			}
+		}
+		// Costs increase with the swept probability for the m=1 curve.
+		m1 := curves[names[0]]
+		for i := 1; i < len(m1); i++ {
+			if m1[i] < m1[i-1]-1e-9 {
+				t.Errorf("%v sweepQ=%v: m=1 curve not increasing at %v", tc.model, tc.sweepQ, xs[i])
+			}
+		}
+	}
+}
+
+func TestFigureTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Figure(&buf, "4a", chain.OneDim, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4a") || !strings.Contains(out, "unbounded") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if got, want := strings.Count(out, "\n"), 3+len(paperdata.Fig4MoveProbs); got != want {
+		t.Errorf("%d lines, want %d", got, want)
+	}
+}
+
+func TestFigureSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FigureSVG(&buf, "5b", chain.TwoDimExact, false); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+	if c := strings.Count(buf.String(), "<polyline"); c != 4 {
+		t.Errorf("%d polylines, want 4", c)
+	}
+}
+
+func TestDelayName(t *testing.T) {
+	if delayName(0) != "unbounded" || delayName(3) != "m=3" {
+		t.Error("delayName wrong")
+	}
+}
+
+func TestWriteSVGCreatesFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"fig4a", "fig5b"} {
+		if err := writeSVG(dir, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"fig4a.svg", "fig5b.svg"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "</svg>") {
+			t.Errorf("%s: incomplete SVG", name)
+		}
+	}
+}

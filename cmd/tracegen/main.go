@@ -1,0 +1,111 @@
+// Command tracegen generates synthetic mobility/call traces from the
+// paper's workload model and replays recorded traces through the
+// location-update/paging mechanism:
+//
+//	tracegen -gen -model 2d -q 0.05 -c 0.01 -slots 1000000 -out trace.csv
+//	tracegen -replay trace.csv -d 3 -m 2 -U 100 -V 10
+//
+// The trace format (CSV or JSONL, chosen by file extension) is documented
+// in internal/trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+
+	gen := flag.Bool("gen", false, "generate a trace")
+	replay := flag.String("replay", "", "replay the trace in this file")
+	model := flag.String("model", "2d", "grid for -gen: 1d or 2d")
+	q := flag.Float64("q", 0.05, "movement probability for -gen")
+	c := flag.Float64("c", 0.01, "call probability for -gen")
+	slots := flag.Int64("slots", 1_000_000, "trace length for -gen")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "trace.csv", "output file for -gen (.csv or .jsonl)")
+	d := flag.Int("d", 3, "threshold distance for -replay")
+	m := flag.Int("m", 0, "max paging delay for -replay (0 = unbounded)")
+	u := flag.Float64("U", 100, "update cost for -replay")
+	v := flag.Float64("V", 10, "poll cost for -replay")
+	flag.Parse()
+
+	switch {
+	case *gen:
+		kind := grid.TwoDimHex
+		if *model == "1d" {
+			kind = grid.OneDim
+		} else if *model != "2d" {
+			log.Fatalf("unknown model %q", *model)
+		}
+		tr, err := trace.Generate(kind, chain.Params{Q: *q, C: *c}, *slots, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*out, ".jsonl") {
+			err = trace.WriteJSONL(f, tr)
+		} else {
+			err = trace.WriteCSV(f, tr)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d slots, %d events\n", *out, tr.Slots, len(tr.Events))
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		var tr *trace.Trace
+		if strings.HasSuffix(*replay, ".jsonl") {
+			tr, err = trace.ReadJSONL(f)
+		} else {
+			tr, err = trace.ReadCSV(f)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := trace.Replay(tr, *d, *m, core.Costs{Update: *u, Poll: *v}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace          %s (%d slots, %d events)\n", *replay, tr.Slots, len(tr.Events))
+		fmt.Printf("threshold d    %d, max delay %s\n", *d, delayName(*m))
+		fmt.Printf("updates        %d\n", res.Updates)
+		fmt.Printf("calls          %d (polled %d cells, mean delay %.3f cycles)\n",
+			res.Calls, res.PolledCells, res.Delay.Mean())
+		fmt.Printf("per-slot cost  %.6f (update %.6f + paging %.6f)\n",
+			res.TotalCost, res.UpdateCost, res.PagingCost)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func delayName(m int) string {
+	if m == 0 {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d cycles", m)
+}

@@ -1,0 +1,97 @@
+// Highway: one-dimensional location management for terminals confined to a
+// road, rail line or tunnel — the paper's motivating scenario for the 1-D
+// model. Compares the paper's mechanism against the classic baselines
+// (static location areas, time-based and movement-based updating) on an
+// identical simulated workload, each baseline at its own best parameter.
+//
+//	go run ./examples/highway
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/locman"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A vehicle on a highway of small cells: moves often, called rarely.
+	cfg := locman.Config{
+		Model:      locman.OneDimensional,
+		MoveProb:   0.2,
+		CallProb:   0.01,
+		UpdateCost: 100,
+		PollCost:   10,
+		MaxDelay:   2,
+	}
+
+	res, err := locman.Optimize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distance-based (this paper): d* = %d, analytical C_T = %.3f, E[delay] = %.2f cycles\n\n",
+		res.Best.Threshold, res.Best.Total, res.Best.ExpectedDelay)
+
+	const slots = 1_000_000
+	const seed = 17
+
+	type contender struct {
+		name    string
+		scheme  locman.BaselineScheme
+		cfg     locman.Config
+		loParam int
+		hiParam int
+	}
+	unbounded := cfg
+	unbounded.MaxDelay = locman.Unbounded
+	contenders := []contender{
+		// The paper's mechanism under its m=2 delay guarantee, and the
+		// same trigger with unconstrained paging (= Madhow et al. [6]).
+		{"distance-based, m=2 (ours)", locman.BaselineDistanceBased, cfg, 0, 15},
+		{"distance-based, unbounded [6]", locman.BaselineDistanceBased, unbounded, 0, 15},
+		// The classic baselines all page without a delay guarantee
+		// (except LA, which blanket-polls in exactly one cycle).
+		{"location-area [8]", locman.BaselineLA, cfg, 1, 30},
+		{"time-based [3]", locman.BaselineTimeBased, cfg, 1, 120},
+		{"movement-based [3]", locman.BaselineMovementBased, cfg, 1, 40},
+	}
+
+	fmt.Println("scheme                          best-param  cost     vs ours  mean-delay  delay-bound")
+	var ours float64
+	for i, c := range contenders {
+		bestParam, bestCost := 0, math.Inf(1)
+		var bestDelay float64
+		for p := c.loParam; p <= c.hiParam; p++ {
+			r, err := locman.SimulateBaseline(c.cfg, c.scheme, p, slots, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if r.TotalCost < bestCost {
+				bestParam, bestCost = p, r.TotalCost
+				bestDelay = r.Delay.Mean()
+			}
+		}
+		if i == 0 {
+			ours = bestCost
+		}
+		bound := "none"
+		switch {
+		case c.scheme == locman.BaselineLA:
+			bound = "1 cycle"
+		case c.scheme == locman.BaselineDistanceBased && c.cfg.MaxDelay > 0:
+			bound = fmt.Sprintf("%d cycles", c.cfg.MaxDelay)
+		}
+		fmt.Printf("%-31s %-11d %-8.3f %+7.1f%%  %-11.2f %s\n",
+			c.name, bestParam, bestCost, 100*(bestCost-ours)/ours, bestDelay, bound)
+	}
+
+	fmt.Println("\nOnly the first two rows guarantee anything about paging delay. The")
+	fmt.Println("time- and movement-based baselines pay less only by searching an")
+	fmt.Println("unboundedly large area ring by ring; against the fair comparison —")
+	fmt.Println("distance-based with unbounded paging [6] — the distance trigger wins,")
+	fmt.Println("and the paper's contribution is keeping most of that advantage while")
+	fmt.Println("bounding the delay.")
+}

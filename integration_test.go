@@ -1,0 +1,153 @@
+// Integration tests: one operating point evaluated through every
+// independent path in the repository — exact analysis, closed forms, the
+// dense generic Markov solver, the Monte-Carlo walk, the discrete-event
+// PCN system, the trace replay, and the baseline simulator's
+// distance-based mode — all of which must agree on the paper's C_T.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/markov"
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/walk"
+)
+
+// TestAllPathsAgree evaluates 2-D, q=0.05, c=0.01, U=100, V=10, d=3, m=2
+// through seven code paths.
+func TestAllPathsAgree(t *testing.T) {
+	const (
+		d     = 3
+		m     = 2
+		slots = 3_000_000
+	)
+	params := chain.Params{Q: 0.05, C: 0.01}
+	costs := core.Costs{Update: 100, Poll: 10}
+	cfg := core.Config{Model: chain.TwoDimExact, Params: params, Costs: costs, MaxDelay: m}
+
+	// Path 1: the structured cut-balance solver through the cost model.
+	exact, err := cfg.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path 2: the dense generic Markov solver, costs assembled by hand.
+	mc, err := markov.DistanceChain(chain.TwoDimExact, params, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := mc.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rings := grid.TwoDimHex.RingSizes(d)
+	part := paging.SDF{}.Partition(rings, nil, m)
+	dense := chain.UpdateProb(chain.TwoDimExact, params, pi)*costs.Update +
+		params.C*costs.Poll*part.ExpectedCells(pi)
+	if math.Abs(dense-exact.Total) > 1e-10 {
+		t.Errorf("dense solver path: %v vs %v", dense, exact.Total)
+	}
+
+	// Path 3: power iteration on the same chain.
+	piPow, err := mc.PowerIteration(1e-14, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := chain.UpdateProb(chain.TwoDimExact, params, piPow)*costs.Update +
+		params.C*costs.Poll*part.ExpectedCells(piPow)
+	if math.Abs(power-exact.Total) > 1e-6 {
+		t.Errorf("power iteration path: %v vs %v", power, exact.Total)
+	}
+
+	// Path 4: Monte-Carlo walk on the real hexagonal grid.
+	w, err := walk.Run(cfg, d, slots, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(w.TotalCost-exact.Total) / exact.Total; rel > 0.03 {
+		t.Errorf("walk path: %v vs %v (rel %.3f)", w.TotalCost, exact.Total, rel)
+	}
+
+	// Path 5: the discrete-event PCN system.
+	metrics, err := sim.Run(sim.Config{Core: cfg, Terminals: 4, Threshold: d, Seed: 55}, slots/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.NotFound != 0 {
+		t.Fatalf("PCN path: %d paging failures", metrics.NotFound)
+	}
+	if rel := math.Abs(metrics.TotalCost-exact.Total) / exact.Total; rel > 0.03 {
+		t.Errorf("PCN path: %v vs %v (rel %.3f)", metrics.TotalCost, exact.Total, rel)
+	}
+
+	// Path 6: generated trace replayed through the mechanism.
+	tr, err := trace.Generate(grid.TwoDimHex, params, slots, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := trace.Replay(tr, d, m, costs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(rep.TotalCost-exact.Total) / exact.Total; rel > 0.03 {
+		t.Errorf("trace path: %v vs %v (rel %.3f)", rep.TotalCost, exact.Total, rel)
+	}
+
+	// Path 7: the baseline simulator's distance-based mode.
+	bl, err := baseline.Simulate(baseline.Config{
+		Kind: grid.TwoDimHex, Params: params, Costs: costs,
+		Scheme: baseline.DistanceBased, Param: d, MaxDelay: m,
+	}, slots, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(bl.TotalCost-exact.Total) / exact.Total; rel > 0.03 {
+		t.Errorf("baseline path: %v vs %v (rel %.3f)", bl.TotalCost, exact.Total, rel)
+	}
+
+	// The delay metric agrees across analysis, walk and the PCN system.
+	for name, got := range map[string]float64{
+		"walk": w.Delay.Mean(),
+		"sim":  metrics.Delay.Mean(),
+		"rep":  rep.Delay.Mean(),
+	} {
+		if math.Abs(got-exact.ExpectedDelay) > 0.03 {
+			t.Errorf("%s delay: %v vs analytical %v", name, got, exact.ExpectedDelay)
+		}
+	}
+}
+
+// TestClosedFormPathAgrees covers the 1-D closed form end to end: the
+// paper's Table 1 configuration evaluated through the closed-form
+// stationary solution must equal the structured solver's cost exactly.
+func TestClosedFormPathAgrees(t *testing.T) {
+	params := chain.Params{Q: 0.05, C: 0.01}
+	costs := core.Costs{Update: 100, Poll: 10}
+	for d := 0; d <= 12; d++ {
+		for _, m := range []int{1, 2, 3, 0} {
+			cfg := core.Config{Model: chain.OneDim, Params: params, Costs: costs, MaxDelay: m}
+			exact, err := cfg.Evaluate(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pi, err := chain.StationaryClosedForm(chain.OneDim, params, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rings := grid.OneDim.RingSizes(d)
+			part := paging.SDF{}.Partition(rings, nil, m)
+			closed := chain.UpdateProb(chain.OneDim, params, pi)*costs.Update +
+				params.C*costs.Poll*part.ExpectedCells(pi)
+			if math.Abs(closed-exact.Total) > 1e-10 {
+				t.Errorf("d=%d m=%d: closed form %v vs solver %v", d, m, closed, exact.Total)
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Analysis holds the analytical per-slot costs of a baseline scheme, in
+// the same units as Result, plus the underlying rates.
+type Analysis struct {
+	// UpdateRate is the per-slot probability of a location update.
+	UpdateRate float64
+	// CellsPerCall is the expected number of cells polled per call.
+	CellsPerCall float64
+	// UpdateCost, PagingCost and TotalCost are per-slot averages.
+	UpdateCost, PagingCost, TotalCost float64
+	// ExpectedDelay is the mean paging delay in polling cycles.
+	ExpectedDelay float64
+}
+
+// Analyze computes the analytical steady-state costs of the configured
+// baseline scheme, the closed-form counterpart of Simulate:
+//
+//   - LA: the position within a location area is a random walk on a
+//     vertex-transitive quotient graph (a cycle of Size cells in 1-D, a
+//     torus quotient of the radius-R cluster in 2-D), whose stationary
+//     distribution is uniform. The update rate is the uniform boundary
+//     exit rate and every call blanket-polls the whole LA.
+//   - TimeBased / MovementBased: renewal analysis. Cycles end at the
+//     first call or at the scheme's trigger; the distance distribution at
+//     age k evolves through the transient ring chain, exactly in 1-D and
+//     with the paper's ring-averaged rates in 2-D (a ≈1% lumping
+//     approximation, see the package tests).
+//   - DistanceBased: handled exactly by package core; Analyze returns an
+//     error directing callers there.
+func Analyze(cfg Config) (Analysis, error) {
+	if err := cfg.Validate(); err != nil {
+		return Analysis{}, err
+	}
+	switch cfg.Scheme {
+	case LA:
+		return analyzeLA(cfg), nil
+	case TimeBased:
+		return analyzeTimeBased(cfg), nil
+	case MovementBased:
+		return analyzeMovementBased(cfg), nil
+	default:
+		return Analysis{}, fmt.Errorf("baseline: %v has no Analyze; use package core's exact solution", cfg.Scheme)
+	}
+}
+
+func (a Analysis) withCosts(cfg Config, callRate float64) Analysis {
+	a.UpdateCost = a.UpdateRate * cfg.Costs.Update
+	a.PagingCost = callRate * a.CellsPerCall * cfg.Costs.Poll
+	a.TotalCost = a.UpdateCost + a.PagingCost
+	return a
+}
+
+// analyzeLA: uniform within-LA position.
+//
+//	1-D, size L:  exit rate q/L           cells per call L
+//	2-D, radius R: exit rate q(2R+1)/g(R)  cells per call g(R)
+//
+// (In 2-D the cluster has 6(2R+1) outward boundary half-edges out of
+// 6·g(R) total; uniformity gives the rate.)
+func analyzeLA(cfg Config) Analysis {
+	var exitRate float64
+	var cells int
+	if cfg.Kind == grid.OneDim {
+		cells = cfg.Param
+		exitRate = cfg.Params.Q / float64(cfg.Param)
+	} else {
+		r := cfg.Param
+		cells = grid.TwoDimHex.DiskSize(r)
+		exitRate = cfg.Params.Q * float64(2*r+1) / float64(cells)
+	}
+	a := Analysis{
+		UpdateRate:    exitRate,
+		CellsPerCall:  float64(cells),
+		ExpectedDelay: 1,
+	}
+	return a.withCosts(cfg, cfg.Params.C)
+}
+
+// OptimalLA returns the LA size (1-D) or radius (2-D) minimizing the
+// analytical total cost, scanning 1..maxParam (resp. 0..maxParam in 2-D).
+// In 1-D the continuous optimum is the classic square-root law
+// L* = sqrt(qU/(cV)).
+func OptimalLA(cfg Config, maxParam int) (int, Analysis, error) {
+	cfg.Scheme = LA
+	lo := 1
+	if cfg.Kind == grid.TwoDimHex {
+		lo = 0
+	}
+	bestParam := lo
+	best := Analysis{TotalCost: math.Inf(1)}
+	for p := lo; p <= maxParam; p++ {
+		c := cfg
+		c.Param = p
+		a, err := Analyze(c)
+		if err != nil {
+			return 0, Analysis{}, err
+		}
+		if a.TotalCost < best.TotalCost {
+			bestParam, best = p, a
+		}
+	}
+	return bestParam, best, nil
+}
+
+// transientStep advances a ring-distance distribution by one conditional
+// step that moves with probability moveProb (uniform neighbor, ring-
+// averaged rates for the hex grid).
+func transientStep(kind grid.Kind, dist []float64, moveProb float64) []float64 {
+	n := len(dist)
+	next := make([]float64, n+1)
+	for i, p := range dist {
+		if p == 0 {
+			continue
+		}
+		up := moveProb * kind.UpProb(i)
+		down := moveProb * kind.DownProb(i)
+		next[i+1] += p * up
+		if i > 0 {
+			next[i-1] += p * down
+		}
+		next[i] += p * (1 - up - down)
+	}
+	return next
+}
+
+// expectedDisk returns E[g(D)] and E[D] for a ring distribution.
+func expectedDisk(kind grid.Kind, dist []float64) (cells, mean float64) {
+	for i, p := range dist {
+		cells += p * float64(kind.DiskSize(i))
+		mean += p * float64(i)
+	}
+	return cells, mean
+}
+
+// analyzeTimeBased: ages advance on call-free slots; a call at age k pages
+// a disk of the distance reached after k conditional moves; age τ triggers
+// an update. P(reach age k) = (1−c)^k.
+func analyzeTimeBased(cfg Config) Analysis {
+	q, c := cfg.Params.Q, cfg.Params.C
+	tau := cfg.Param
+	moveProb := 0.0
+	if q > 0 {
+		moveProb = q / (1 - c)
+	}
+	survive := 1.0 // (1−c)^k
+	dist := []float64{1}
+	var pageMass, cellsAcc, delayAcc float64
+	for k := 0; k < tau; k++ {
+		cells, meanD := expectedDisk(cfg.Kind, dist)
+		w := survive * c
+		pageMass += w
+		cellsAcc += w * cells
+		delayAcc += w * (meanD + 1)
+		survive *= 1 - c
+		if k < tau-1 {
+			dist = transientStep(cfg.Kind, dist, moveProb)
+		}
+	}
+	// Cycle length in slots: Σ (k+1)(1−c)^k c + τ(1−c)^τ = (1−(1−c)^τ)/c,
+	// degenerating to τ when c = 0 (cycles always end at the timer).
+	cycleLen := float64(tau)
+	if c > 0 {
+		cycleLen = (1 - survive) / c
+	}
+	a := Analysis{
+		UpdateRate:    survive / cycleLen,
+		CellsPerCall:  1,
+		ExpectedDelay: 1,
+	}
+	if pageMass > 0 {
+		a.CellsPerCall = cellsAcc / pageMass
+		a.ExpectedDelay = delayAcc / pageMass
+	}
+	// Per-slot paging cost: pages per cycle (pageMass) × cells each,
+	// divided by cycle length — equivalently call rate × E[cells | call]
+	// with the call rate being pageMass/cycleLen.
+	return a.withCosts(cfg, pageMass/cycleLen)
+}
+
+// analyzeMovementBased: in event time (events occur w.p. q+c per slot),
+// each event is a call with probability γ = c/(q+c); a call after j moves
+// pages a disk of the distance after j unconditional moves; the M-th move
+// triggers an update.
+func analyzeMovementBased(cfg Config) Analysis {
+	q, c := cfg.Params.Q, cfg.Params.C
+	m := cfg.Param
+	if q == 0 {
+		// No movement: no updates ever; every call polls the center cell.
+		return Analysis{
+			UpdateRate: 0, CellsPerCall: 1, ExpectedDelay: 1,
+		}.withCosts(cfg, c)
+	}
+	gamma := c / (q + c)
+	survive := 1.0 // (1−γ)^j
+	dist := []float64{1}
+	var pageMass, cellsAcc, delayAcc float64
+	for j := 0; j < m; j++ {
+		cells, meanD := expectedDisk(cfg.Kind, dist)
+		w := survive * gamma
+		pageMass += w
+		cellsAcc += w * cells
+		delayAcc += w * (meanD + 1)
+		survive *= 1 - gamma
+		if j < m-1 {
+			dist = transientStep(cfg.Kind, dist, 1) // a definite move
+		}
+	}
+	var cycleSlots float64
+	if gamma == 0 {
+		// No calls: every cycle is exactly M moves.
+		cycleSlots = float64(m) / q
+	} else {
+		cycleSlots = (1 - survive) / gamma / (q + c)
+	}
+	a := Analysis{
+		UpdateRate:   survive / cycleSlots,
+		CellsPerCall: 1,
+	}
+	if pageMass > 0 {
+		a.CellsPerCall = cellsAcc / pageMass
+		a.ExpectedDelay = delayAcc / pageMass
+	} else {
+		a.ExpectedDelay = 1
+	}
+	callRate := 0.0
+	if cycleSlots > 0 {
+		callRate = pageMass / cycleSlots
+	}
+	return a.withCosts(cfg, callRate)
+}

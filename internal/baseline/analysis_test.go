@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func analyzeVsSimulate(t *testing.T, cfg Config, slots int64, relTol float64) {
+	t.Helper()
+	ana, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Simulate(cfg, slots, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, want float64) {
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("%v %s: analytical %v, simulated %v", cfg.Scheme, name, got, want)
+			}
+			return
+		}
+		if rel := math.Abs(got-want) / want; rel > relTol {
+			t.Errorf("%v param=%d %s: analytical %v vs simulated %v (rel %.3f)",
+				cfg.Scheme, cfg.Param, name, got, want, rel)
+		}
+	}
+	check("total cost", ana.TotalCost, sim.TotalCost)
+	check("update cost", ana.UpdateCost, sim.UpdateCost)
+	check("paging cost", ana.PagingCost, sim.PagingCost)
+	if sim.Calls > 0 {
+		check("cells/call", ana.CellsPerCall, float64(sim.PolledCells)/float64(sim.Calls))
+		check("delay", ana.ExpectedDelay, sim.Delay.Mean())
+	}
+}
+
+func TestAnalyzeLA1DMatchesSimulation(t *testing.T) {
+	for _, L := range []int{1, 3, 8, 20} {
+		analyzeVsSimulate(t, cfg(grid.OneDim, LA, L), 2_000_000, 0.04)
+	}
+}
+
+func TestAnalyzeLA2DMatchesSimulation(t *testing.T) {
+	for _, R := range []int{0, 1, 2, 4} {
+		analyzeVsSimulate(t, cfg(grid.TwoDimHex, LA, R), 2_000_000, 0.04)
+	}
+}
+
+func TestAnalyzeLA1DClosedForm(t *testing.T) {
+	// C_T(L) = qU/L + cLV.
+	c := cfg(grid.OneDim, LA, 5)
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.05*100/5 + 0.01*5*10
+	if math.Abs(a.TotalCost-want) > 1e-12 {
+		t.Errorf("C_T = %v, want %v", a.TotalCost, want)
+	}
+	if a.ExpectedDelay != 1 {
+		t.Errorf("delay %v", a.ExpectedDelay)
+	}
+}
+
+func TestOptimalLASquareRootLaw(t *testing.T) {
+	// 1-D: L* ≈ sqrt(qU/(cV)), the classic square-root law.
+	c := cfg(grid.OneDim, LA, 1)
+	best, _, err := OptimalLA(c, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont := math.Sqrt(0.05 * 100 / (0.01 * 10))
+	if math.Abs(float64(best)-cont) > 1.0 {
+		t.Errorf("L* = %d, continuous optimum %v", best, cont)
+	}
+}
+
+func TestAnalyzeTimeBasedMatchesSimulation(t *testing.T) {
+	for _, tau := range []int{1, 5, 20, 60} {
+		analyzeVsSimulate(t, cfg(grid.OneDim, TimeBased, tau), 2_000_000, 0.05)
+	}
+	// 2-D uses the ring-averaged transient chain (lumping approximation);
+	// allow slightly more.
+	for _, tau := range []int{5, 25} {
+		analyzeVsSimulate(t, cfg(grid.TwoDimHex, TimeBased, tau), 2_000_000, 0.06)
+	}
+}
+
+func TestAnalyzeMovementBasedMatchesSimulation(t *testing.T) {
+	for _, m := range []int{1, 3, 8} {
+		analyzeVsSimulate(t, cfg(grid.OneDim, MovementBased, m), 2_000_000, 0.05)
+		analyzeVsSimulate(t, cfg(grid.TwoDimHex, MovementBased, m), 2_000_000, 0.06)
+	}
+}
+
+func TestAnalyzeDegenerateParams(t *testing.T) {
+	// c = 0: no calls, pure update cost.
+	noCalls := Config{
+		Kind:   grid.OneDim,
+		Params: chain.Params{Q: 0.3, C: 0},
+		Costs:  core.Costs{Update: 10, Poll: 1},
+		Scheme: TimeBased,
+		Param:  4,
+	}
+	a, err := Analyze(noCalls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.UpdateRate-0.25) > 1e-12 {
+		t.Errorf("c=0 time-based update rate %v, want 1/τ", a.UpdateRate)
+	}
+	if a.PagingCost != 0 {
+		t.Errorf("paging cost %v with no calls", a.PagingCost)
+	}
+	// q = 0: movement-based never updates.
+	frozen := noCalls
+	frozen.Params = chain.Params{Q: 0, C: 0.3}
+	frozen.Scheme = MovementBased
+	a, err = Analyze(frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UpdateRate != 0 {
+		t.Errorf("q=0 movement-based update rate %v", a.UpdateRate)
+	}
+	if a.CellsPerCall != 1 {
+		t.Errorf("q=0 cells/call %v", a.CellsPerCall)
+	}
+}
+
+func TestAnalyzeMovementBasedNoCalls(t *testing.T) {
+	c := Config{
+		Kind:   grid.TwoDimHex,
+		Params: chain.Params{Q: 0.4, C: 0},
+		Costs:  core.Costs{Update: 10, Poll: 1},
+		Scheme: MovementBased,
+		Param:  5,
+	}
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One update every M moves, moves at rate q: rate = q/M.
+	if math.Abs(a.UpdateRate-0.4/5) > 1e-12 {
+		t.Errorf("update rate %v, want q/M", a.UpdateRate)
+	}
+}
+
+func TestAnalyzeRejects(t *testing.T) {
+	c := cfg(grid.OneDim, DistanceBased, 3)
+	if _, err := Analyze(c); err == nil {
+		t.Error("distance-based Analyze should defer to core")
+	}
+	bad := cfg(grid.OneDim, LA, 0)
+	if _, err := Analyze(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestOptimalLAAgainstSimulatedScan(t *testing.T) {
+	// The analytical optimum should agree with the simulated scan.
+	c := cfg(grid.TwoDimHex, LA, 0)
+	anaBest, _, err := OptimalLA(c, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simBest, _, err := OptimizeParam(c, 0, 10, 400_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := anaBest - simBest
+	if diff < -1 || diff > 1 {
+		t.Errorf("analytical R* = %d vs simulated %d", anaBest, simBest)
+	}
+}

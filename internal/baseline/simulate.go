@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"repro/internal/grid"
+	"repro/internal/paging"
+	"repro/internal/stats"
+)
+
+// geomOps adapts the two grids to one simulation loop. Positions are
+// represented as hex axial coordinates; the 1-D line embeds as R = 0 with
+// moves along Q only.
+type geomOps struct {
+	kind    grid.Kind
+	move    func(grid.Hex, *stats.RNG) grid.Hex
+	la      func(grid.Hex) grid.Hex
+	laCells int
+}
+
+func makeOps(cfg Config) geomOps {
+	if cfg.Kind == grid.OneDim {
+		ops := geomOps{
+			kind: grid.OneDim,
+			move: func(h grid.Hex, rng *stats.RNG) grid.Hex {
+				if rng.Intn(2) == 0 {
+					return grid.Hex{Q: h.Q - 1}
+				}
+				return grid.Hex{Q: h.Q + 1}
+			},
+		}
+		if cfg.Scheme == LA {
+			size := cfg.Param
+			ops.la = func(h grid.Hex) grid.Hex {
+				return grid.Hex{Q: int(grid.LineLAStart(grid.Line(h.Q), size))}
+			}
+			ops.laCells = size
+		}
+		return ops
+	}
+	ops := geomOps{
+		kind: grid.TwoDimHex,
+		move: func(h grid.Hex, rng *stats.RNG) grid.Hex {
+			return h.Neighbor(rng.Intn(6))
+		},
+	}
+	if cfg.Scheme == LA {
+		radius := cfg.Param
+		ops.la = func(h grid.Hex) grid.Hex { return grid.HexLACenter(h, radius) }
+		ops.laCells = grid.TwoDimHex.DiskSize(radius)
+	}
+	return ops
+}
+
+// dist is the ring distance appropriate to the embedding (hex distance
+// reduces to |ΔQ| on the line since R is always 0 there).
+func (g geomOps) dist(a, b grid.Hex) int { return a.Dist(b) }
+
+func simulateLine(cfg Config, slots int64, rng *stats.RNG, res *Result) {
+	simulate(cfg, slots, rng, res)
+}
+
+func simulateHex(cfg Config, slots int64, rng *stats.RNG, res *Result) {
+	simulate(cfg, slots, rng, res)
+}
+
+func simulate(cfg Config, slots int64, rng *stats.RNG, res *Result) {
+	ops := makeOps(cfg)
+	pos := grid.Hex{}
+	center := grid.Hex{} // last reported position (non-LA schemes)
+	curLA := grid.Hex{}  // current location area (LA scheme)
+	if cfg.Scheme == LA {
+		curLA = ops.la(pos)
+	}
+	moveProb := 0.0
+	if cfg.Params.Q > 0 {
+		moveProb = cfg.Params.Q / (1 - cfg.Params.C)
+	}
+	var timer, moves int
+
+	// Distance-based paging plan, fixed per run.
+	var ringSubarea []int
+	var cumCells []int
+	if cfg.Scheme == DistanceBased {
+		rings := cfg.Kind.RingSizes(cfg.Param)
+		part := paging.SDF{}.Partition(rings, nil, cfg.MaxDelay)
+		cumCells = part.CumulativeCells()
+		ringSubarea = make([]int, cfg.Param+1)
+		for j, s := range part {
+			for i := s.FirstRing; i <= s.LastRing; i++ {
+				ringSubarea[i] = j
+			}
+		}
+	}
+
+	page := func() {
+		res.Calls++
+		switch cfg.Scheme {
+		case LA:
+			// Blanket-poll the whole location area, one cycle.
+			res.PolledCells += int64(ops.laCells)
+			res.Delay.Add(1)
+			// The network learns the exact cell but the scheme's state
+			// (the current LA) is unchanged by construction.
+		case TimeBased, MovementBased:
+			// Expanding ring search from the last reported position.
+			d := ops.dist(pos, center)
+			res.PolledCells += int64(cfg.Kind.DiskSize(d))
+			res.Delay.Add(float64(d + 1))
+			center = pos
+			timer, moves = 0, 0
+		case DistanceBased:
+			d := ops.dist(pos, center)
+			j := ringSubarea[d]
+			res.PolledCells += int64(cumCells[j])
+			res.Delay.Add(float64(j + 1))
+			center = pos
+		}
+	}
+
+	update := func() {
+		res.Updates++
+	}
+
+	for t := int64(0); t < slots; t++ {
+		if rng.Bernoulli(cfg.Params.C) {
+			page()
+			continue
+		}
+		if rng.Bernoulli(moveProb) {
+			pos = ops.move(pos, rng)
+			moves++
+			switch cfg.Scheme {
+			case LA:
+				if la := ops.la(pos); la != curLA {
+					curLA = la
+					update()
+				}
+			case MovementBased:
+				if moves >= cfg.Param {
+					center = pos
+					moves = 0
+					update()
+				}
+			case DistanceBased:
+				if ops.dist(pos, center) > cfg.Param {
+					center = pos
+					update()
+				}
+			}
+		}
+		if cfg.Scheme == TimeBased {
+			timer++
+			if timer >= cfg.Param {
+				center = pos
+				timer = 0
+				update()
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package chain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// buildMatrix constructs the full (d+1)×(d+1) one-step transition matrix of
+// the distance chain, independently of the solver, directly from the
+// mechanism description: call arrival (prob c) resets to 0, a move out of
+// ring d (prob a_d) triggers an update and resets to 0, other moves shift
+// the ring index, everything else self-loops.
+func buildMatrix(m Model, p Params, d int) [][]float64 {
+	P := make([][]float64, d+1)
+	for i := range P {
+		P[i] = make([]float64, d+1)
+	}
+	for i := 0; i <= d; i++ {
+		up := m.Up(p, i)
+		down := m.Down(p, i)
+		if i == 0 {
+			// A call leaves the state at 0; only movement matters.
+			if d >= 1 {
+				P[0][1] += up
+				P[0][0] += 1 - up
+			} else {
+				P[0][0] = 1
+			}
+			continue
+		}
+		P[i][0] += p.C // call arrival resets
+		if i < d {
+			P[i][i+1] += up
+		} else {
+			P[i][0] += up // threshold crossing resets
+		}
+		P[i][i-1] += down
+		P[i][i] += 1 - p.C - up - down
+	}
+	return P
+}
+
+func residual(pi []float64, P [][]float64) float64 {
+	n := len(pi)
+	worst := 0.0
+	for j := 0; j < n; j++ {
+		flow := 0.0
+		for i := 0; i < n; i++ {
+			flow += pi[i] * P[i][j]
+		}
+		if r := math.Abs(flow - pi[j]); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func TestStationarySolvesBalanceEquations(t *testing.T) {
+	models := []Model{OneDim, TwoDimExact, TwoDimApprox}
+	params := []Params{
+		{Q: 0.05, C: 0.01},
+		{Q: 0.5, C: 0.01},
+		{Q: 0.001, C: 0.1},
+		{Q: 0.3, C: 0.3},
+		{Q: 0.9, C: 0.0},
+	}
+	for _, m := range models {
+		for _, p := range params {
+			for _, d := range []int{0, 1, 2, 3, 5, 10, 25} {
+				pi, err := Stationary(m, p, d)
+				if err != nil {
+					t.Fatalf("%v %+v d=%d: %v", m, p, d, err)
+				}
+				sum := 0.0
+				for i, v := range pi {
+					if v < 0 {
+						t.Errorf("%v %+v d=%d: negative p_%d = %v", m, p, d, i, v)
+					}
+					sum += v
+				}
+				if math.Abs(sum-1) > 1e-12 {
+					t.Errorf("%v %+v d=%d: probabilities sum to %v", m, p, d, sum)
+				}
+				P := buildMatrix(m, p, d)
+				if r := residual(pi, P); r > 1e-12 {
+					t.Errorf("%v %+v d=%d: balance residual %v", m, p, d, r)
+				}
+			}
+		}
+	}
+}
+
+func TestStationaryPropertyRandomParams(t *testing.T) {
+	f := func(qr, cr uint16, dr uint8) bool {
+		q := float64(qr)/65535.0*0.9 + 1e-4
+		c := (1 - q) * float64(cr) / 65535.0 * 0.99
+		d := int(dr % 40)
+		for _, m := range []Model{OneDim, TwoDimExact, TwoDimApprox} {
+			pi, err := Stationary(m, Params{Q: q, C: c}, d)
+			if err != nil {
+				return false
+			}
+			sum := 0.0
+			for _, v := range pi {
+				if v < 0 || math.IsNaN(v) {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+			if residual(pi, buildMatrix(m, Params{Q: q, C: c}, d)) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStationaryPaperWorkedValues1D(t *testing.T) {
+	// Hand-computed from paper eqs. (34)-(35) with q=0.05, c=0.01.
+	p := Params{Q: 0.05, C: 0.01}
+	pi, err := Stationary(OneDim, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.06 / 0.11; math.Abs(pi[0]-want) > 1e-12 {
+		t.Errorf("p_{0,1} = %v, want %v", pi[0], want)
+	}
+	if want := 0.05 / 0.11; math.Abs(pi[1]-want) > 1e-12 {
+		t.Errorf("p_{1,1} = %v, want %v", pi[1], want)
+	}
+}
+
+func TestStationaryPaperWorkedValues2DExact(t *testing.T) {
+	// Hand-solved exact 2-D chain for q=0.05, c=0.01, d=3 (validated against
+	// paper Table 2: C_T(d=3, U=1000, m=1) = 6.056).
+	p := Params{Q: 0.05, C: 0.01}
+	pi, err := Stationary(TwoDimExact, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25726, 0.36954, 0.25203, 0.12117}
+	for i, w := range want {
+		if math.Abs(pi[i]-w) > 5e-5 {
+			t.Errorf("p_{%d,3} = %v, want ≈ %v", i, pi[i], w)
+		}
+	}
+}
+
+func TestStationaryDegenerateCases(t *testing.T) {
+	// q = 0: the terminal never moves, so all mass stays at state 0.
+	pi, err := Stationary(TwoDimExact, Params{Q: 0, C: 0.3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[0] != 1 {
+		t.Errorf("q=0: p_0 = %v, want 1", pi[0])
+	}
+	for i := 1; i < len(pi); i++ {
+		if pi[i] != 0 {
+			t.Errorf("q=0: p_%d = %v, want 0", i, pi[i])
+		}
+	}
+	// d = 0: single state.
+	pi, err = Stationary(OneDim, Params{Q: 0.4, C: 0.2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi) != 1 || pi[0] != 1 {
+		t.Errorf("d=0: pi = %v", pi)
+	}
+}
+
+func TestStationaryLargeThresholdStable(t *testing.T) {
+	// For large d with c >> q the unnormalized solution spans hundreds of
+	// orders of magnitude; the rescaling in Stationary must keep it finite.
+	p := Params{Q: 0.001, C: 0.5}
+	pi, err := Stationary(OneDim, p, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range pi {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("non-finite or negative probability: %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+	// Mass should be overwhelmingly near the center.
+	if pi[0] < 0.3 {
+		t.Errorf("p_0 = %v, expected concentration near 0", pi[0])
+	}
+}
+
+func TestStationaryErrors(t *testing.T) {
+	if _, err := Stationary(OneDim, Params{Q: -0.1, C: 0}, 3); err == nil {
+		t.Error("negative q accepted")
+	}
+	if _, err := Stationary(OneDim, Params{Q: 0.6, C: 0.6}, 3); err == nil {
+		t.Error("q+c>1 accepted")
+	}
+	if _, err := Stationary(OneDim, Params{Q: 0.1, C: math.NaN()}, 3); err == nil {
+		t.Error("NaN accepted")
+	}
+	if _, err := Stationary(OneDim, Params{Q: 0.1, C: 0.1}, -1); err == nil {
+		t.Error("negative d accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Params{{0, 0}, {1, 0}, {0, 1}, {0.5, 0.5}, {0.05, 0.01}}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", p, err)
+		}
+	}
+	bad := []Params{{-0.1, 0}, {1.1, 0}, {0, -0.1}, {0, 1.1}, {0.7, 0.7}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+}
+
+func TestUpDownTransitionEquations(t *testing.T) {
+	p := Params{Q: 0.12, C: 0.03}
+	// Paper eq. (3)-(4).
+	if got := OneDim.Up(p, 0); got != p.Q {
+		t.Errorf("1-D a_{0,1} = %v, want q", got)
+	}
+	if got := OneDim.Up(p, 4); got != p.Q/2 {
+		t.Errorf("1-D a_{4,5} = %v, want q/2", got)
+	}
+	if got := OneDim.Down(p, 4); got != p.Q/2 {
+		t.Errorf("1-D b_{4,3} = %v, want q/2", got)
+	}
+	// Paper eq. (41)-(42).
+	if got := TwoDimExact.Up(p, 0); got != p.Q {
+		t.Errorf("2-D a_{0,1} = %v, want q", got)
+	}
+	if got, want := TwoDimExact.Up(p, 2), p.Q*(1.0/3.0+1.0/12.0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("2-D a_{2,3} = %v, want %v", got, want)
+	}
+	if got, want := TwoDimExact.Down(p, 2), p.Q*(1.0/3.0-1.0/12.0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("2-D b_{2,1} = %v, want %v", got, want)
+	}
+	// Paper eq. (43)-(44).
+	if got := TwoDimApprox.Up(p, 7); got != p.Q/3 {
+		t.Errorf("approx a = %v, want q/3", got)
+	}
+	if got := TwoDimApprox.Down(p, 7); got != p.Q/3 {
+		t.Errorf("approx b = %v, want q/3", got)
+	}
+	if got := TwoDimApprox.Down(p, 0); got != 0 {
+		t.Errorf("b_0 = %v, want 0", got)
+	}
+}
+
+func TestUpdateProb(t *testing.T) {
+	p := Params{Q: 0.05, C: 0.01}
+	pi, err := Stationary(OneDim, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p_{1,1}·a_{1,2} = (q/(2q+c))·(q/2)
+	want := (0.05 / 0.11) * 0.025
+	if got := UpdateProb(OneDim, p, pi); math.Abs(got-want) > 1e-12 {
+		t.Errorf("UpdateProb = %v, want %v", got, want)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if OneDim.String() != "1-D" || TwoDimExact.String() != "2-D exact" || TwoDimApprox.String() != "2-D approx" {
+		t.Error("model names wrong")
+	}
+	if Model(9).String() != "Model(9)" {
+		t.Error("unknown model name wrong")
+	}
+}
+
+func TestModelGrid(t *testing.T) {
+	if OneDim.Grid().Degree() != 2 {
+		t.Error("1-D grid degree")
+	}
+	if TwoDimExact.Grid().Degree() != 6 || TwoDimApprox.Grid().Degree() != 6 {
+		t.Error("2-D grid degree")
+	}
+}

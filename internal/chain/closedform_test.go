@@ -1,0 +1,179 @@
+package chain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlpha(t *testing.T) {
+	p := Params{Q: 0.05, C: 0.01}
+	if a, err := Alpha(OneDim, p); err != nil || math.Abs(a-2.4) > 1e-12 {
+		t.Errorf("Alpha(1-D) = %v, %v; want 2.4", a, err)
+	}
+	if a, err := Alpha(TwoDimApprox, p); err != nil || math.Abs(a-2.6) > 1e-12 {
+		t.Errorf("Alpha(2-D approx) = %v, %v; want 2.6", a, err)
+	}
+	if _, err := Alpha(TwoDimExact, p); err == nil {
+		t.Error("Alpha(2-D exact) should error")
+	}
+	if _, err := Alpha(OneDim, Params{Q: 0, C: 0.1}); err == nil {
+		t.Error("Alpha(q=0) should error")
+	}
+}
+
+func TestRootsProperties(t *testing.T) {
+	for _, alpha := range []float64{2, 2.0001, 2.4, 3, 10, 202} {
+		e1, e2 := Roots(alpha)
+		if math.Abs(e1+e2-alpha) > 1e-9*alpha {
+			t.Errorf("α=%v: e1+e2 = %v", alpha, e1+e2)
+		}
+		if math.Abs(e1*e2-1) > 1e-9 {
+			t.Errorf("α=%v: e1·e2 = %v", alpha, e1*e2)
+		}
+		if e1 < e2 {
+			t.Errorf("α=%v: e1 < e2", alpha)
+		}
+	}
+}
+
+func TestChebSRecurrenceVsPowers(t *testing.T) {
+	for _, alpha := range []float64{2, 2.2, 2.4, 3.5, 8} {
+		s := chebS(alpha, 20)
+		for i := 0; i <= 20; i++ {
+			want := chebSPow(alpha, i)
+			rel := math.Abs(s[i]-want) / math.Max(1, math.Abs(want))
+			if rel > 1e-9 {
+				t.Errorf("α=%v: S_%d recurrence=%v powers=%v", alpha, i, s[i], want)
+			}
+		}
+	}
+}
+
+func TestChebSDegenerateAlphaTwo(t *testing.T) {
+	// α = 2 (c = 0): S_i = i + 1.
+	s := chebS(2, 10)
+	for i, v := range s {
+		if v != float64(i+1) {
+			t.Errorf("S_%d = %v, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestClosedFormMatchesBoundaryEquations(t *testing.T) {
+	// The general closed form must reproduce the paper's printed boundary
+	// formulas (eqs. 33-38 and 55-60) exactly.
+	params := []Params{
+		{Q: 0.05, C: 0.01},
+		{Q: 0.3, C: 0.1},
+		{Q: 0.9, C: 0.05},
+		{Q: 0.01, C: 0.9},
+		{Q: 0.5, C: 0},
+	}
+	for _, p := range params {
+		for d := 0; d <= 2; d++ {
+			got1, err := StationaryClosedForm(OneDim, p, d)
+			if err != nil {
+				t.Fatalf("1-D %+v d=%d: %v", p, d, err)
+			}
+			want1 := boundary1D(p, d)
+			for i := range want1 {
+				if math.Abs(got1[i]-want1[i]) > 1e-12 {
+					t.Errorf("1-D %+v d=%d: p_%d = %v, paper eq gives %v", p, d, i, got1[i], want1[i])
+				}
+			}
+			got2, err := StationaryClosedForm(TwoDimApprox, p, d)
+			if err != nil {
+				t.Fatalf("2-D %+v d=%d: %v", p, d, err)
+			}
+			want2 := boundary2DApprox(p, d)
+			for i := range want2 {
+				if math.Abs(got2[i]-want2[i]) > 1e-12 {
+					t.Errorf("2-D approx %+v d=%d: p_%d = %v, paper eq gives %v", p, d, i, got2[i], want2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestClosedFormMatchesCutSolver(t *testing.T) {
+	params := []Params{
+		{Q: 0.05, C: 0.01},
+		{Q: 0.5, C: 0.02},
+		{Q: 0.001, C: 0.05},
+		{Q: 0.2, C: 0},
+		{Q: 0.1, C: 0.5},
+	}
+	for _, m := range []Model{OneDim, TwoDimApprox} {
+		for _, p := range params {
+			for _, d := range []int{0, 1, 2, 3, 4, 7, 15, 30} {
+				cf, err := StationaryClosedForm(m, p, d)
+				if err != nil {
+					t.Fatalf("%v %+v d=%d: %v", m, p, d, err)
+				}
+				cut, err := Stationary(m, p, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range cf {
+					if math.Abs(cf[i]-cut[i]) > 1e-10 {
+						t.Errorf("%v %+v d=%d: closed p_%d=%v, cut p_%d=%v",
+							m, p, d, i, cf[i], i, cut[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestClosedFormProperty(t *testing.T) {
+	f := func(qr, cr uint16, dr uint8) bool {
+		q := float64(qr)/65535.0*0.9 + 0.01
+		c := (1 - q) * float64(cr) / 65535.0 * 0.5
+		d := int(dr % 25)
+		for _, m := range []Model{OneDim, TwoDimApprox} {
+			cf, err := StationaryClosedForm(m, Params{Q: q, C: c}, d)
+			if err != nil {
+				return false
+			}
+			cut, _ := Stationary(m, Params{Q: q, C: c}, d)
+			for i := range cf {
+				if math.Abs(cf[i]-cut[i]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosedFormRejectsExact2D(t *testing.T) {
+	if _, err := StationaryClosedForm(TwoDimExact, Params{Q: 0.05, C: 0.01}, 3); err == nil {
+		t.Error("expected error for exact 2-D model")
+	}
+}
+
+func TestClosedFormOverflowReported(t *testing.T) {
+	// α huge and d large: S_d overflows float64; the closed form must
+	// report it rather than return garbage (Stationary still works there).
+	p := Params{Q: 1e-6, C: 0.9}
+	if _, err := StationaryClosedForm(OneDim, p, 500); err == nil {
+		t.Error("expected overflow error")
+	}
+	if _, err := Stationary(OneDim, p, 500); err != nil {
+		t.Errorf("cut solver should survive: %v", err)
+	}
+}
+
+func TestClosedFormQZero(t *testing.T) {
+	pi, err := StationaryClosedForm(OneDim, Params{Q: 0, C: 0.2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[0] != 1 {
+		t.Errorf("p_0 = %v, want 1", pi[0])
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AnnealOptions tunes the simulated-annealing optimizer of Section 6. The
+// zero value selects the defaults documented on each field.
+type AnnealOptions struct {
+	// MaxThreshold bounds the search space to 0..MaxThreshold;
+	// 0 selects DefaultMaxThreshold.
+	MaxThreshold int
+	// Y is the cooling-schedule constant in T = y/(y+k); 0 selects 50.
+	// Larger values cool more slowly and explore more.
+	Y float64
+	// ExitT is the temperature at which the annealing stops; 0 selects
+	// 0.01. The paper: "the values of y and exit_T are adjusted based on
+	// the required accuracy of the result".
+	ExitT float64
+	// Step is the maximum distance between d and the candidate generated
+	// from it; 0 selects 3.
+	Step int
+	// Seed seeds the random source; annealing runs are reproducible for a
+	// fixed seed.
+	Seed int64
+}
+
+func (o AnnealOptions) withDefaults() AnnealOptions {
+	if o.MaxThreshold <= 0 {
+		o.MaxThreshold = DefaultMaxThreshold
+	}
+	if o.Y == 0 {
+		o.Y = 50
+	}
+	if o.ExitT == 0 {
+		o.ExitT = 0.01
+	}
+	if o.Step <= 0 {
+		o.Step = 3
+	}
+	return o
+}
+
+// Anneal finds a (near-)optimal threshold by simulated annealing, following
+// the algorithmic structure in Section 6 of the paper: starting from a
+// random threshold at temperature T = 1, it repeatedly proposes a nearby
+// threshold, always accepts improvements, accepts degradations with
+// probability exp(Δ/T) per the Boltzmann law, and cools with the paper's
+// schedule T = y/(y+k) until T ≤ exitT.
+//
+// Cost evaluations are memoized: the chain solution for a given d never
+// changes, so each threshold is evaluated at most once. The returned
+// Result has a nil Curve.
+func Anneal(cfg Config, opts AnnealOptions) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	res := Result{}
+	memo := make(map[int]Breakdown)
+	cost := func(d int) (Breakdown, error) {
+		if b, ok := memo[d]; ok {
+			return b, nil
+		}
+		b, err := cfg.Evaluate(d)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		memo[d] = b
+		res.Evaluations++
+		return b, nil
+	}
+
+	// Random_Init().
+	d := rng.Intn(opts.MaxThreshold + 1)
+	cur, err := cost(d)
+	if err != nil {
+		return Result{}, err
+	}
+	best := cur
+
+	t := 1.0
+	for k := 1; t > opts.ExitT; k++ {
+		// generate(d): a random non-zero step of at most ±Step, clamped to
+		// the search space.
+		nd := d + deltaStep(rng, opts.Step)
+		if nd < 0 {
+			nd = 0
+		}
+		if nd > opts.MaxThreshold {
+			nd = opts.MaxThreshold
+		}
+		cand, err := cost(nd)
+		if err != nil {
+			return Result{}, err
+		}
+		delta := cur.Total - cand.Total // > 0 means the candidate is better
+		if delta >= 0 || rng.Float64() < math.Exp(delta/t) {
+			d, cur = nd, cand
+		}
+		if cur.Total < best.Total {
+			best = cur
+		}
+		t = opts.Y / (opts.Y + float64(k))
+	}
+	if math.IsInf(best.Total, 1) {
+		return Result{}, ErrNoImprovement
+	}
+	res.Best = best
+	return res, nil
+}
+
+// deltaStep draws a uniform non-zero step in [−step, step].
+func deltaStep(rng *rand.Rand, step int) int {
+	if step <= 0 {
+		panic(fmt.Sprintf("core: non-positive step %d", step))
+	}
+	v := rng.Intn(2*step) + 1 // 1..2*step
+	if v > step {
+		return step - v // −1..−step
+	}
+	return v
+}

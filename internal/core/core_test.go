@@ -1,0 +1,366 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+	"repro/internal/paging"
+	"repro/internal/paperdata"
+)
+
+func tableConfig(model chain.Model, u float64, delay int, legacy bool) Config {
+	return Config{
+		Model:          model,
+		Params:         chain.Params{Q: paperdata.TableMoveProb, C: paperdata.TableCallProb},
+		Costs:          Costs{Update: u, Poll: paperdata.TablePollCost},
+		MaxDelay:       delay,
+		LegacyZeroRate: legacy,
+	}
+}
+
+func TestEvaluateHandWorkedExamples(t *testing.T) {
+	// 1-D, q=0.05, c=0.01, U=20, V=10, d=1, m=1 (Table 1 row U=20):
+	// Cu = (q/(2q+c))·(q/2)·U, Cv = c·g(1)·V.
+	b, err := tableConfig(chain.OneDim, 20, 1, false).Evaluate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCu := (0.05 / 0.11) * 0.025 * 20
+	if math.Abs(b.Update-wantCu) > 1e-12 {
+		t.Errorf("Cu = %v, want %v", b.Update, wantCu)
+	}
+	if math.Abs(b.Paging-0.3) > 1e-12 {
+		t.Errorf("Cv = %v, want 0.3", b.Paging)
+	}
+	if math.Abs(b.Total-0.52727272727) > 1e-9 {
+		t.Errorf("C_T = %v, want 0.527...", b.Total)
+	}
+	if b.MaxCycles != 1 || math.Abs(b.ExpectedDelay-1) > 1e-12 {
+		t.Errorf("delay stats wrong: %+v", b)
+	}
+
+	// 2-D exact, U=1000, d=3, m=1 (Table 2): C_T = 6.056.
+	b, err = tableConfig(chain.TwoDimExact, 1000, 1, false).Evaluate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Total-6.056) > 5e-4 {
+		t.Errorf("2-D C_T = %v, want 6.056", b.Total)
+	}
+}
+
+func TestEvaluateDelayConstraintRespected(t *testing.T) {
+	cfg := tableConfig(chain.TwoDimExact, 100, 3, false)
+	for d := 0; d <= 12; d++ {
+		b, err := cfg.Evaluate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.MaxCycles > 3 {
+			t.Errorf("d=%d: %d polling cycles exceed m=3", d, b.MaxCycles)
+		}
+		if b.ExpectedDelay > float64(b.MaxCycles)+1e-12 || b.ExpectedDelay < 1-1e-12 {
+			t.Errorf("d=%d: expected delay %v outside [1, %d]", d, b.ExpectedDelay, b.MaxCycles)
+		}
+	}
+}
+
+// TestReproduceTable1 checks every cell of the paper's Table 1 (with the
+// legacy d=0 rate the published numbers require).
+func TestReproduceTable1(t *testing.T) {
+	for _, row := range paperdata.Table1 {
+		for col, m := range paperdata.Table1Delays {
+			cfg := tableConfig(chain.OneDim, row.U, m, true)
+			res, err := Scan(cfg, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Best.Threshold != row.D[col] {
+				t.Errorf("U=%v m=%d: d* = %d, paper %d", row.U, m, res.Best.Threshold, row.D[col])
+			}
+			if math.Abs(res.Best.Total-row.CT[col]) > 5e-4 {
+				t.Errorf("U=%v m=%d: C_T = %.4f, paper %.3f", row.U, m, res.Best.Total, row.CT[col])
+			}
+		}
+	}
+}
+
+// TestReproduceTable2Exact checks the exact d*/C_T columns of Table 2.
+func TestReproduceTable2Exact(t *testing.T) {
+	for _, row := range paperdata.Table2 {
+		for col, m := range paperdata.Table2Delays {
+			cfg := tableConfig(chain.TwoDimExact, row.U, m, false)
+			res, err := Scan(cfg, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cell := row.Cells[col]
+			if res.Best.Threshold != cell.DStar {
+				t.Errorf("U=%v m=%d: d* = %d, paper %d", row.U, m, res.Best.Threshold, cell.DStar)
+			}
+			if math.Abs(res.Best.Total-cell.CT) > 5e-4 {
+				t.Errorf("U=%v m=%d: C_T = %.4f, paper %.3f", row.U, m, res.Best.Total, cell.CT)
+			}
+		}
+	}
+}
+
+// TestReproduceTable2NearOptimal checks the d′/C′_T columns of Table 2:
+// the uncorrected near-optimal pipeline with the legacy zero rate.
+func TestReproduceTable2NearOptimal(t *testing.T) {
+	for _, row := range paperdata.Table2 {
+		for col, m := range paperdata.Table2Delays {
+			cfg := tableConfig(chain.TwoDimExact, row.U, m, true)
+			res, err := NearOptimal(cfg, 60, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cell := row.Cells[col]
+			if res.Best.Threshold != cell.DNear {
+				t.Errorf("U=%v m=%d: d′ = %d, paper %d", row.U, m, res.Best.Threshold, cell.DNear)
+			}
+			if math.Abs(res.Best.Total-cell.CTNear) > 5e-4 {
+				t.Errorf("U=%v m=%d: C′_T = %.4f, paper %.3f", row.U, m, res.Best.Total, cell.CTNear)
+			}
+		}
+	}
+}
+
+func TestNearOptimalCorrectionFixesZero(t *testing.T) {
+	// Paper Section 7: the uncorrected pipeline picks d′=0 at U=20 (2-D,
+	// m=1) and pays 1.100 where the optimum is 0.968 at d=1; the corrected
+	// pipeline must pick 1.
+	cfg := tableConfig(chain.TwoDimExact, 20, 1, true)
+	un, err := NearOptimal(cfg, 60, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if un.Best.Threshold != 0 || math.Abs(un.Best.Total-1.100) > 5e-4 {
+		t.Fatalf("uncorrected: %+v", un.Best)
+	}
+	co, err := NearOptimal(cfg, 60, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Best.Threshold != 1 || math.Abs(co.Best.Total-0.968) > 5e-4 {
+		t.Errorf("corrected: %+v", co.Best)
+	}
+}
+
+func TestNearOptimalWithinOneRing(t *testing.T) {
+	// Paper Section 7: "the differences between d* and d′ are within 1
+	// from each other almost all the time". With the correction applied,
+	// assert it holds across Table 2's whole parameter range.
+	for _, row := range paperdata.Table2 {
+		for _, m := range paperdata.Table2Delays {
+			exact, err := Scan(tableConfig(chain.TwoDimExact, row.U, m, false), 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			near, err := NearOptimal(tableConfig(chain.TwoDimExact, row.U, m, true), 60, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diff := exact.Best.Threshold - near.Best.Threshold
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 2 {
+				t.Errorf("U=%v m=%d: d*=%d vs corrected d′=%d", row.U, m, exact.Best.Threshold, near.Best.Threshold)
+			}
+		}
+	}
+}
+
+func TestScanCurveShape(t *testing.T) {
+	cfg := tableConfig(chain.OneDim, 100, 2, false)
+	res, err := Scan(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 41 || res.Evaluations != 41 {
+		t.Fatalf("curve len %d, evals %d", len(res.Curve), res.Evaluations)
+	}
+	// The best cost must be the curve minimum.
+	min := math.Inf(1)
+	for _, v := range res.Curve {
+		if v < min {
+			min = v
+		}
+	}
+	if res.Best.Total != min {
+		t.Errorf("Best.Total = %v, curve min = %v", res.Best.Total, min)
+	}
+	if res.Curve[res.Best.Threshold] != min {
+		t.Errorf("curve at d* = %v, min = %v", res.Curve[res.Best.Threshold], min)
+	}
+}
+
+func TestScanDefaultBound(t *testing.T) {
+	res, err := Scan(tableConfig(chain.OneDim, 10, 1, false), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != DefaultMaxThreshold+1 {
+		t.Errorf("default scan bound: %d", len(res.Curve)-1)
+	}
+}
+
+func TestAnnealMatchesScan(t *testing.T) {
+	// Annealing is stochastic but with the default schedule and a modest
+	// search space it should land on (or extremely near) the scan optimum.
+	cases := []struct {
+		model chain.Model
+		u     float64
+		m     int
+	}{
+		{chain.OneDim, 100, 1},
+		{chain.OneDim, 500, 3},
+		{chain.TwoDimExact, 300, 0},
+		{chain.TwoDimExact, 50, 3},
+	}
+	for _, tc := range cases {
+		cfg := tableConfig(tc.model, tc.u, tc.m, false)
+		scan, err := Scan(cfg, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ann, err := Anneal(cfg, AnnealOptions{MaxThreshold: 60, Seed: 7, Y: 200, ExitT: 0.005})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ann.Best.Total > scan.Best.Total*1.02+1e-9 {
+			t.Errorf("%v U=%v m=%d: anneal %v (d=%d) vs scan %v (d=%d)",
+				tc.model, tc.u, tc.m, ann.Best.Total, ann.Best.Threshold,
+				scan.Best.Total, scan.Best.Threshold)
+		}
+	}
+}
+
+func TestAnnealDeterministicForSeed(t *testing.T) {
+	cfg := tableConfig(chain.TwoDimExact, 200, 2, false)
+	a, err := Anneal(cfg, AnnealOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Anneal(cfg, AnnealOptions{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best || a.Evaluations != b.Evaluations {
+		t.Errorf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestAnnealMemoizes(t *testing.T) {
+	cfg := tableConfig(chain.OneDim, 100, 1, false)
+	res, err := Anneal(cfg, AnnealOptions{MaxThreshold: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations > 11 {
+		t.Errorf("%d evaluations for an 11-point space", res.Evaluations)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Config{
+		{Model: chain.OneDim, Params: chain.Params{Q: -1}, Costs: Costs{1, 1}},
+		{Model: chain.OneDim, Params: chain.Params{Q: 0.1}, Costs: Costs{-1, 1}},
+		{Model: chain.OneDim, Params: chain.Params{Q: 0.1}, Costs: Costs{1, -1}},
+		{Model: chain.OneDim, Params: chain.Params{Q: 0.1}, Costs: Costs{1, math.NaN()}},
+		{Model: chain.OneDim, Params: chain.Params{Q: 0.1}, Costs: Costs{1, 1}, MaxDelay: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+		if _, err := cfg.Evaluate(1); err == nil {
+			t.Errorf("case %d: Evaluate accepted invalid config", i)
+		}
+		if _, err := Scan(cfg, 10); err == nil {
+			t.Errorf("case %d: Scan accepted invalid config", i)
+		}
+		if _, err := NearOptimal(cfg, 10, true); err == nil {
+			t.Errorf("case %d: NearOptimal accepted invalid config", i)
+		}
+		if _, err := Anneal(cfg, AnnealOptions{}); err == nil {
+			t.Errorf("case %d: Anneal accepted invalid config", i)
+		}
+	}
+}
+
+func TestCustomSchemeUsed(t *testing.T) {
+	// With the DP-optimal partitioner the cost can only improve on SDF.
+	base := tableConfig(chain.TwoDimExact, 300, 2, false)
+	sdf, err := Scan(base, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := base
+	opt.Scheme = paging.OptimalDP{}
+	dp, err := Scan(opt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Best.Total > sdf.Best.Total+1e-9 {
+		t.Errorf("DP scheme cost %v worse than SDF %v", dp.Best.Total, sdf.Best.Total)
+	}
+}
+
+func TestCostPropertyTotalIsSum(t *testing.T) {
+	f := func(qr, cr uint16, ur uint8, dr, mr uint8) bool {
+		q := float64(qr)/65535.0*0.8 + 0.01
+		c := (1 - q) * float64(cr) / 65535.0 * 0.5
+		u := float64(ur) * 5
+		d := int(dr % 20)
+		m := int(mr % 5)
+		cfg := Config{
+			Model:    chain.TwoDimExact,
+			Params:   chain.Params{Q: q, C: c},
+			Costs:    Costs{Update: u, Poll: 10},
+			MaxDelay: m,
+		}
+		b, err := cfg.Evaluate(d)
+		if err != nil {
+			return false
+		}
+		if math.Abs(b.Total-(b.Update+b.Paging)) > 1e-12 {
+			return false
+		}
+		return b.Update >= 0 && b.Paging >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDelayTwoClosesHalfGap asserts the paper's headline conclusion
+// (Section 8): raising the delay bound from 1 to 2 polling cycles lowers
+// the optimal cost to (at least) roughly half way between its m=1 and
+// unbounded values.
+func TestDelayTwoClosesHalfGap(t *testing.T) {
+	for _, model := range []chain.Model{chain.OneDim, chain.TwoDimExact} {
+		for _, u := range []float64{50, 100, 300, 1000} {
+			c1, err := Scan(tableConfig(model, u, 1, false), 80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := Scan(tableConfig(model, u, 2, false), 80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cInf, err := Scan(tableConfig(model, u, 0, false), 80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			halfway := (c1.Best.Total + cInf.Best.Total) / 2
+			if c2.Best.Total > halfway*1.10 {
+				t.Errorf("%v U=%v: C_T(m=2)=%v above halfway %v (C1=%v, C∞=%v)",
+					model, u, c2.Best.Total, halfway, c1.Best.Total, cInf.Best.Total)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+)
+
+// Invariant tests: structural properties of the cost model that must hold
+// across the whole parameter space, beyond the paper's specific numbers.
+
+// TestUpdateCostDecreasesWithThreshold: a larger residing area can only
+// make threshold crossings rarer, so Cu(d) is non-increasing in d.
+func TestUpdateCostDecreasesWithThreshold(t *testing.T) {
+	for _, model := range []chain.Model{chain.OneDim, chain.TwoDimExact, chain.TwoDimApprox} {
+		for _, p := range []chain.Params{{Q: 0.05, C: 0.01}, {Q: 0.4, C: 0.1}, {Q: 0.01, C: 0.3}} {
+			cfg := Config{Model: model, Params: p, Costs: Costs{Update: 100, Poll: 10}, MaxDelay: 1}
+			prev := math.Inf(1)
+			for d := 0; d <= 25; d++ {
+				b, err := cfg.Evaluate(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b.Update > prev+1e-12 {
+					t.Errorf("%v %+v: Cu(%d)=%v > Cu(%d)=%v", model, p, d, b.Update, d-1, prev)
+				}
+				prev = b.Update
+			}
+		}
+	}
+}
+
+// TestBlanketPagingCostIncreasesWithThreshold: with m = 1 the paging cost
+// is c·g(d)·V, strictly increasing in d.
+func TestBlanketPagingCostIncreasesWithThreshold(t *testing.T) {
+	cfg := Config{
+		Model:    chain.TwoDimExact,
+		Params:   chain.Params{Q: 0.1, C: 0.02},
+		Costs:    Costs{Update: 100, Poll: 10},
+		MaxDelay: 1,
+	}
+	prev := -1.0
+	for d := 0; d <= 20; d++ {
+		b, err := cfg.Evaluate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Paging <= prev {
+			t.Errorf("Cv(%d)=%v not above Cv(%d)=%v", d, b.Paging, d-1, prev)
+		}
+		want := 0.02 * 10 * float64(3*d*(d+1)+1)
+		if math.Abs(b.Paging-want) > 1e-9 {
+			t.Errorf("Cv(%d)=%v, closed form %v", d, b.Paging, want)
+		}
+		prev = b.Paging
+	}
+}
+
+// TestOptimalCostMonotoneInUpdateCost: raising U can never lower the
+// optimal total cost, and d* can never decrease (updates get relatively
+// more expensive).
+func TestOptimalCostMonotoneInUpdateCost(t *testing.T) {
+	prevCost := -1.0
+	prevD := -1
+	for _, u := range []float64{1, 5, 20, 50, 100, 300, 1000} {
+		cfg := Config{
+			Model:    chain.TwoDimExact,
+			Params:   chain.Params{Q: 0.05, C: 0.01},
+			Costs:    Costs{Update: u, Poll: 10},
+			MaxDelay: 3,
+		}
+		res, err := Scan(cfg, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best.Total < prevCost-1e-12 {
+			t.Errorf("U=%v: optimal cost %v below previous %v", u, res.Best.Total, prevCost)
+		}
+		if res.Best.Threshold < prevD {
+			t.Errorf("U=%v: d*=%d below previous %d", u, res.Best.Threshold, prevD)
+		}
+		prevCost, prevD = res.Best.Total, res.Best.Threshold
+	}
+}
+
+// TestUnboundedDelayIsCheapestBound: the unconstrained optimum lower-bounds
+// every delay-constrained optimum.
+func TestUnboundedDelayIsCheapestBound(t *testing.T) {
+	f := func(qr, cr uint16, ur uint8, mr uint8) bool {
+		q := float64(qr)/65535.0*0.5 + 0.005
+		c := (1 - q) * (float64(cr)/65535.0*0.2 + 0.001)
+		u := float64(ur%200) + 1
+		m := int(mr%6) + 1
+		base := Config{
+			Model:  chain.TwoDimExact,
+			Params: chain.Params{Q: q, C: c},
+			Costs:  Costs{Update: u, Poll: 10},
+		}
+		bounded := base
+		bounded.MaxDelay = m
+		rb, err := Scan(bounded, 40)
+		if err != nil {
+			return false
+		}
+		ru, err := Scan(base, 40) // MaxDelay 0 = unbounded
+		if err != nil {
+			return false
+		}
+		return ru.Best.Total <= rb.Best.Total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpectedDelayWithinBound: for every configuration the expected delay
+// lies in [1, ℓ] and ℓ ≤ m.
+func TestExpectedDelayWithinBound(t *testing.T) {
+	f := func(qr, cr uint16, dr, mr uint8) bool {
+		q := float64(qr)/65535.0*0.8 + 0.01
+		c := (1 - q) * float64(cr) / 65535.0 * 0.5
+		d := int(dr % 25)
+		m := int(mr % 8)
+		cfg := Config{
+			Model:    chain.OneDim,
+			Params:   chain.Params{Q: q, C: c},
+			Costs:    Costs{Update: 10, Poll: 1},
+			MaxDelay: m,
+		}
+		b, err := cfg.Evaluate(d)
+		if err != nil {
+			return false
+		}
+		if m >= 1 && b.MaxCycles > m {
+			return false
+		}
+		return b.ExpectedDelay >= 1-1e-12 && b.ExpectedDelay <= float64(b.MaxCycles)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCostScalesLinearlyInUnitCosts: C_T is linear in (U, V) by
+// construction; scaling both scales the optimum without moving d*.
+func TestCostScalesLinearlyInUnitCosts(t *testing.T) {
+	base := Config{
+		Model:    chain.TwoDimExact,
+		Params:   chain.Params{Q: 0.05, C: 0.01},
+		Costs:    Costs{Update: 100, Poll: 10},
+		MaxDelay: 2,
+	}
+	r1, err := Scan(base, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := base
+	scaled.Costs = Costs{Update: 700, Poll: 70}
+	r7, err := Scan(scaled, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r7.Best.Threshold != r1.Best.Threshold {
+		t.Errorf("d* moved: %d vs %d", r7.Best.Threshold, r1.Best.Threshold)
+	}
+	if math.Abs(r7.Best.Total-7*r1.Best.Total) > 1e-9 {
+		t.Errorf("cost not linear: %v vs 7×%v", r7.Best.Total, r1.Best.Total)
+	}
+}

@@ -1,0 +1,114 @@
+// Package des is a minimal discrete-event simulation kernel: a scheduler
+// with a binary-heap event queue, deterministic FIFO ordering among
+// same-time events, and a monotonic virtual clock. It underlies the PCN
+// system simulator in package sim.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp. Its unit is defined by the simulation that
+// uses the scheduler (package sim uses 1 slot = SlotTicks ticks so that
+// polling cycles can be scheduled within a slot).
+type Time uint64
+
+// Scheduler dispatches scheduled events in (time, insertion-order) order.
+// The zero value is ready to use. Scheduler is not safe for concurrent use;
+// discrete-event simulations are inherently sequential.
+type Scheduler struct {
+	q   eventQueue
+	now Time
+	seq uint64
+	ran uint64
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.q) }
+
+// Processed returns the number of events dispatched so far.
+func (s *Scheduler) Processed() uint64 { return s.ran }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a simulation bug.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %d before now %d", t, s.now))
+	}
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	heap.Push(&s.q, event{at: t, seq: s.seq, fn: fn})
+	s.seq++
+}
+
+// After schedules fn delay ticks from now.
+func (s *Scheduler) After(delay Time, fn func()) {
+	s.At(s.now+delay, fn)
+}
+
+// Step dispatches the next event, advancing the clock to its timestamp.
+// It reports whether an event was dispatched.
+func (s *Scheduler) Step() bool {
+	if len(s.q) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.q).(event)
+	s.now = e.at
+	s.ran++
+	e.fn()
+	return true
+}
+
+// RunUntil dispatches events with timestamps ≤ deadline (inclusive) and
+// advances the clock to deadline. Events scheduled during the run are
+// dispatched too if they fall within the deadline. It returns the number
+// of events dispatched.
+func (s *Scheduler) RunUntil(deadline Time) uint64 {
+	start := s.ran
+	for len(s.q) > 0 && s.q[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.ran - start
+}
+
+// Drain dispatches every remaining event. It returns the number of events
+// dispatched. Use with care: self-perpetuating event chains never drain.
+func (s *Scheduler) Drain() uint64 {
+	start := s.ran
+	for s.Step() {
+	}
+	return s.ran - start
+}

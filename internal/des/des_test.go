@@ -1,0 +1,138 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	var s Scheduler
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	if n := s.Drain(); n != 3 {
+		t.Fatalf("drained %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("clock = %d", s.Now())
+	}
+}
+
+func TestFIFOAmongSameTime(t *testing.T) {
+	var s Scheduler
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var s Scheduler
+	var fired []Time
+	s.At(10, func() {
+		s.After(5, func() { fired = append(fired, s.Now()) })
+	})
+	s.Drain()
+	if len(fired) != 1 || fired[0] != 15 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		s.At(i*10, func() { count++ })
+	}
+	if n := s.RunUntil(50); n != 5 {
+		t.Errorf("dispatched %d, want 5", n)
+	}
+	if count != 5 {
+		t.Errorf("count = %d", count)
+	}
+	if s.Now() != 50 {
+		t.Errorf("clock = %d, want 50", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	// Events scheduled inside the window are picked up too.
+	s.At(55, func() {
+		count += 10
+		s.After(1, func() { count += 100 })
+	})
+	s.RunUntil(60)
+	// 5 prior + the pre-scheduled t=60 event + 10 (t=55) + 100 (t=56).
+	if count != 116 {
+		t.Errorf("count = %d, want 116", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var s Scheduler
+	s.RunUntil(99)
+	if s.Now() != 99 {
+		t.Errorf("clock = %d", s.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var s Scheduler
+	s.At(10, func() {})
+	s.Drain()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestNilEventPanics(t *testing.T) {
+	var s Scheduler
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event did not panic")
+		}
+	}()
+	s.At(1, nil)
+}
+
+func TestProcessedCounter(t *testing.T) {
+	var s Scheduler
+	for i := 0; i < 7; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Drain()
+	if s.Processed() != 7 {
+		t.Errorf("Processed = %d", s.Processed())
+	}
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestSelfPerpetuatingChainWithRunUntil(t *testing.T) {
+	var s Scheduler
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		s.After(1, tick)
+	}
+	s.At(0, tick)
+	s.RunUntil(100)
+	if ticks != 101 { // t = 0..100 inclusive
+		t.Errorf("ticks = %d", ticks)
+	}
+}

@@ -1,0 +1,124 @@
+// Package grid implements the cell geometry of a PCN coverage area as
+// described in Section 2.1 of Akyildiz & Ho (SIGCOMM '95): a one-dimensional
+// line of equal-length cells (two neighbors per cell) and a two-dimensional
+// plane of equal-size hexagonal cells (six neighbors per cell).
+//
+// Distances are measured in rings: ring r_i is the set of cells exactly i
+// cells away from a chosen center cell. The package provides ring sizes
+// N(r_i), disk sizes g(d) (paper eq. 1), neighbor enumeration, and ring/disk
+// enumeration used by the paging partitioner and the random-walk simulators.
+package grid
+
+import "fmt"
+
+// Kind identifies one of the two mobility geometries in the paper.
+type Kind int
+
+const (
+	// OneDim is the one-dimensional model: cells on a line, two
+	// neighbors per cell (roads, tunnels, train lines).
+	OneDim Kind = iota
+	// TwoDimHex is the two-dimensional model: hexagonal cells tiling the
+	// plane, six neighbors per cell (city-wide coverage).
+	TwoDimHex
+)
+
+// String returns a human-readable name for the geometry kind.
+func (k Kind) String() string {
+	switch k {
+	case OneDim:
+		return "1-D"
+	case TwoDimHex:
+		return "2-D hex"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Degree returns the number of neighbors of every cell: 2 for the line,
+// 6 for the hexagonal plane.
+func (k Kind) Degree() int {
+	if k == OneDim {
+		return 2
+	}
+	return 6
+}
+
+// RingSize returns N(r_i), the number of cells in ring i around any cell.
+// Ring 0 is the center cell itself.
+func (k Kind) RingSize(i int) int {
+	if i < 0 {
+		panic(fmt.Sprintf("grid: negative ring index %d", i))
+	}
+	if i == 0 {
+		return 1
+	}
+	if k == OneDim {
+		return 2
+	}
+	return 6 * i
+}
+
+// DiskSize returns g(d), the number of cells within distance d of any cell,
+// including the cell itself (paper eq. 1):
+//
+//	g(d) = 2d+1        for the 1-D model
+//	g(d) = 3d(d+1)+1   for the 2-D model
+func (k Kind) DiskSize(d int) int {
+	if d < 0 {
+		panic(fmt.Sprintf("grid: negative distance %d", d))
+	}
+	if k == OneDim {
+		return 2*d + 1
+	}
+	return 3*d*(d+1) + 1
+}
+
+// RingSizes returns the slice [N(r_0), N(r_1), ..., N(r_d)].
+func (k Kind) RingSizes(d int) []int {
+	if d < 0 {
+		panic(fmt.Sprintf("grid: negative distance %d", d))
+	}
+	sizes := make([]int, d+1)
+	for i := range sizes {
+		sizes[i] = k.RingSize(i)
+	}
+	return sizes
+}
+
+// UpProb returns p+(i): given that a terminal in ring i moves (uniformly to
+// one of its neighbors), the probability the move increases its distance
+// from the center (paper eq. 39 for the 2-D model). For i = 0 every move
+// increases the distance, so UpProb(0) = 1.
+//
+// For the 2-D model the value is the ring average: individual cells in a
+// ring differ (corner cells of the hexagonal ring have two outward
+// neighbors on one axis), but averaged over the 6i cells of ring i exactly
+// 6(2i+1) of the 36i incident half-edges lead outward.
+func (k Kind) UpProb(i int) float64 {
+	if i < 0 {
+		panic(fmt.Sprintf("grid: negative ring index %d", i))
+	}
+	if i == 0 {
+		return 1
+	}
+	if k == OneDim {
+		return 0.5
+	}
+	return 1.0/3.0 + 1.0/(6.0*float64(i))
+}
+
+// DownProb returns p−(i): the probability a uniform neighbor move from ring
+// i decreases the distance from the center (paper eq. 40). DownProb(0) = 0.
+func (k Kind) DownProb(i int) float64 {
+	if i < 0 {
+		panic(fmt.Sprintf("grid: negative ring index %d", i))
+	}
+	if i == 0 {
+		return 0
+	}
+	if k == OneDim {
+		return 0.5
+	}
+	return 1.0/3.0 - 1.0/(6.0*float64(i))
+}

@@ -1,0 +1,206 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if got := OneDim.String(); got != "1-D" {
+		t.Errorf("OneDim.String() = %q", got)
+	}
+	if got := TwoDimHex.String(); got != "2-D hex" {
+		t.Errorf("TwoDimHex.String() = %q", got)
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("Kind(99).String() = %q", got)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	if OneDim.Degree() != 2 {
+		t.Errorf("OneDim.Degree() = %d, want 2", OneDim.Degree())
+	}
+	if TwoDimHex.Degree() != 6 {
+		t.Errorf("TwoDimHex.Degree() = %d, want 6", TwoDimHex.Degree())
+	}
+}
+
+func TestRingSize(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		i    int
+		want int
+	}{
+		{OneDim, 0, 1},
+		{OneDim, 1, 2},
+		{OneDim, 5, 2},
+		{TwoDimHex, 0, 1},
+		{TwoDimHex, 1, 6},
+		{TwoDimHex, 2, 12},
+		{TwoDimHex, 7, 42},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.RingSize(tt.i); got != tt.want {
+			t.Errorf("%v.RingSize(%d) = %d, want %d", tt.kind, tt.i, got, tt.want)
+		}
+	}
+}
+
+func TestDiskSizeEquation1(t *testing.T) {
+	// Paper eq. (1): g(d) = 2d+1 (1-D), 3d(d+1)+1 (2-D).
+	for d := 0; d <= 50; d++ {
+		if got, want := OneDim.DiskSize(d), 2*d+1; got != want {
+			t.Errorf("OneDim.DiskSize(%d) = %d, want %d", d, got, want)
+		}
+		if got, want := TwoDimHex.DiskSize(d), 3*d*(d+1)+1; got != want {
+			t.Errorf("TwoDimHex.DiskSize(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestDiskSizeIsSumOfRings(t *testing.T) {
+	for _, k := range []Kind{OneDim, TwoDimHex} {
+		for d := 0; d <= 40; d++ {
+			sum := 0
+			for i := 0; i <= d; i++ {
+				sum += k.RingSize(i)
+			}
+			if got := k.DiskSize(d); got != sum {
+				t.Errorf("%v: DiskSize(%d) = %d, sum of rings = %d", k, d, got, sum)
+			}
+		}
+	}
+}
+
+func TestRingSizes(t *testing.T) {
+	got := TwoDimHex.RingSizes(3)
+	want := []int{1, 6, 12, 18}
+	if len(got) != len(want) {
+		t.Fatalf("RingSizes(3) len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RingSizes(3)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUpDownProbPaperEquations(t *testing.T) {
+	// Paper eqs. (39)-(40): p+(i) = 1/3 + 1/6i, p−(i) = 1/3 − 1/6i.
+	for i := 1; i <= 100; i++ {
+		up := TwoDimHex.UpProb(i)
+		down := TwoDimHex.DownProb(i)
+		wantUp := 1.0/3.0 + 1.0/(6.0*float64(i))
+		wantDown := 1.0/3.0 - 1.0/(6.0*float64(i))
+		if math.Abs(up-wantUp) > 1e-15 {
+			t.Errorf("UpProb(%d) = %v, want %v", i, up, wantUp)
+		}
+		if math.Abs(down-wantDown) > 1e-15 {
+			t.Errorf("DownProb(%d) = %v, want %v", i, down, wantDown)
+		}
+	}
+	// Paper Section 4.1 worked examples: ring 1 is (1/2, 1/6), ring 2 is
+	// (5/12, 1/4).
+	if got := TwoDimHex.UpProb(1); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("UpProb(1) = %v, want 1/2", got)
+	}
+	if got := TwoDimHex.DownProb(1); math.Abs(got-1.0/6.0) > 1e-15 {
+		t.Errorf("DownProb(1) = %v, want 1/6", got)
+	}
+	if got := TwoDimHex.UpProb(2); math.Abs(got-5.0/12.0) > 1e-15 {
+		t.Errorf("UpProb(2) = %v, want 5/12", got)
+	}
+	if got := TwoDimHex.DownProb(2); math.Abs(got-0.25) > 1e-15 {
+		t.Errorf("DownProb(2) = %v, want 1/4", got)
+	}
+}
+
+func TestUpProbRingZero(t *testing.T) {
+	for _, k := range []Kind{OneDim, TwoDimHex} {
+		if got := k.UpProb(0); got != 1 {
+			t.Errorf("%v.UpProb(0) = %v, want 1", k, got)
+		}
+		if got := k.DownProb(0); got != 0 {
+			t.Errorf("%v.DownProb(0) = %v, want 0", k, got)
+		}
+	}
+}
+
+// TestUpDownProbMatchGeometry brute-forces the ring-averaged outward and
+// inward move probabilities from the actual hex geometry and compares them
+// with the paper's formulas.
+func TestUpDownProbMatchGeometry(t *testing.T) {
+	center := Hex{}
+	for i := 1; i <= 12; i++ {
+		ring := HexRing(center, i)
+		var up, down, same int
+		for _, cell := range ring {
+			for _, nb := range cell.Neighbors() {
+				switch d := nb.Dist(center); {
+				case d == i+1:
+					up++
+				case d == i-1:
+					down++
+				case d == i:
+					same++
+				default:
+					t.Fatalf("ring %d: neighbor of %v at distance %d", i, cell, d)
+				}
+			}
+		}
+		total := float64(6 * len(ring))
+		gotUp := float64(up) / total
+		gotDown := float64(down) / total
+		if math.Abs(gotUp-TwoDimHex.UpProb(i)) > 1e-12 {
+			t.Errorf("ring %d: geometric p+ = %v, formula = %v", i, gotUp, TwoDimHex.UpProb(i))
+		}
+		if math.Abs(gotDown-TwoDimHex.DownProb(i)) > 1e-12 {
+			t.Errorf("ring %d: geometric p− = %v, formula = %v", i, gotDown, TwoDimHex.DownProb(i))
+		}
+		if up+down+same != 6*len(ring) {
+			t.Errorf("ring %d: edge count mismatch", i)
+		}
+	}
+}
+
+func TestUpDownProbSumAtMostOne(t *testing.T) {
+	f := func(raw uint8) bool {
+		i := int(raw%60) + 1
+		for _, k := range []Kind{OneDim, TwoDimHex} {
+			s := k.UpProb(i) + k.DownProb(i)
+			if s < 0 || s > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnNegative(t *testing.T) {
+	cases := []func(){
+		func() { OneDim.RingSize(-1) },
+		func() { TwoDimHex.DiskSize(-2) },
+		func() { OneDim.RingSizes(-1) },
+		func() { TwoDimHex.UpProb(-1) },
+		func() { TwoDimHex.DownProb(-3) },
+		func() { HexRing(Hex{}, -1) },
+		func() { HexDisk(Hex{}, -1) },
+		func() { LineRing(0, -1) },
+		func() { LineDisk(0, -1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

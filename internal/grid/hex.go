@@ -1,0 +1,99 @@
+package grid
+
+import "fmt"
+
+// Hex is a cell position on the two-dimensional hexagonal grid in axial
+// coordinates. The center cell of the coverage area is the zero value.
+//
+// Axial coordinates represent a hexagon by two of the three cube
+// coordinates (x, z) with the third implied (y = −x−z). Distances and
+// neighbor sets below follow the standard axial-hex conventions.
+type Hex struct {
+	Q, R int
+}
+
+// hexDirections lists the six axial unit moves, counterclockwise.
+var hexDirections = [6]Hex{
+	{1, 0}, {1, -1}, {0, -1}, {-1, 0}, {-1, 1}, {0, 1},
+}
+
+// Neighbors returns the six adjacent cells.
+func (h Hex) Neighbors() [6]Hex {
+	var out [6]Hex
+	for i, d := range hexDirections {
+		out[i] = Hex{h.Q + d.Q, h.R + d.R}
+	}
+	return out
+}
+
+// Neighbor returns the i-th of the six adjacent cells (0 ≤ i < 6).
+func (h Hex) Neighbor(i int) Hex {
+	d := hexDirections[i]
+	return Hex{h.Q + d.Q, h.R + d.R}
+}
+
+// Add returns the componentwise sum h + o.
+func (h Hex) Add(o Hex) Hex { return Hex{h.Q + o.Q, h.R + o.R} }
+
+// Sub returns the componentwise difference h − o.
+func (h Hex) Sub(o Hex) Hex { return Hex{h.Q - o.Q, h.R - o.R} }
+
+// Scale returns h scaled by k.
+func (h Hex) Scale(k int) Hex { return Hex{h.Q * k, h.R * k} }
+
+// Dist returns the hex-grid distance (in rings) between h and o.
+func (h Hex) Dist(o Hex) int {
+	dq := h.Q - o.Q
+	dr := h.R - o.R
+	ds := -dq - dr
+	return (abs(dq) + abs(dr) + abs(ds)) / 2
+}
+
+// Ring returns the ring index of h relative to the center cell at the
+// origin; equivalently the distance to Hex{0, 0}.
+func (h Hex) Ring() int { return h.Dist(Hex{}) }
+
+// String formats the cell as "(q,r)".
+func (h Hex) String() string { return fmt.Sprintf("(%d,%d)", h.Q, h.R) }
+
+// HexRing enumerates the cells of ring i around center. Ring 0 is the
+// center cell itself. The result has exactly Kind(TwoDimHex).RingSize(i)
+// elements.
+func HexRing(center Hex, i int) []Hex {
+	if i < 0 {
+		panic(fmt.Sprintf("grid: negative ring index %d", i))
+	}
+	if i == 0 {
+		return []Hex{center}
+	}
+	out := make([]Hex, 0, 6*i)
+	// Start i steps in direction 4 (−1, +1 scaled) and walk the six sides.
+	cur := center.Add(hexDirections[4].Scale(i))
+	for side := 0; side < 6; side++ {
+		for step := 0; step < i; step++ {
+			out = append(out, cur)
+			cur = cur.Neighbor(side)
+		}
+	}
+	return out
+}
+
+// HexDisk enumerates all cells within distance d of center, ring by ring
+// from the center outward. The result has exactly g(d) = 3d(d+1)+1 cells.
+func HexDisk(center Hex, d int) []Hex {
+	if d < 0 {
+		panic(fmt.Sprintf("grid: negative distance %d", d))
+	}
+	out := make([]Hex, 0, TwoDimHex.DiskSize(d))
+	for i := 0; i <= d; i++ {
+		out = append(out, HexRing(center, i)...)
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

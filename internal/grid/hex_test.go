@@ -1,0 +1,210 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHexRingSizes(t *testing.T) {
+	center := Hex{}
+	for i := 0; i <= 15; i++ {
+		ring := HexRing(center, i)
+		if got, want := len(ring), TwoDimHex.RingSize(i); got != want {
+			t.Errorf("len(HexRing(%d)) = %d, want %d", i, got, want)
+		}
+		for _, cell := range ring {
+			if d := cell.Dist(center); d != i {
+				t.Errorf("ring %d contains %v at distance %d", i, cell, d)
+			}
+		}
+	}
+}
+
+func TestHexRingNoDuplicates(t *testing.T) {
+	center := Hex{3, -7}
+	for i := 0; i <= 10; i++ {
+		seen := make(map[Hex]bool)
+		for _, cell := range HexRing(center, i) {
+			if seen[cell] {
+				t.Errorf("ring %d: duplicate cell %v", i, cell)
+			}
+			seen[cell] = true
+		}
+	}
+}
+
+func TestHexDiskMatchesEquation1(t *testing.T) {
+	center := Hex{-2, 5}
+	for d := 0; d <= 12; d++ {
+		disk := HexDisk(center, d)
+		if got, want := len(disk), 3*d*(d+1)+1; got != want {
+			t.Errorf("len(HexDisk(%d)) = %d, want g(d)=%d", d, got, want)
+		}
+		seen := make(map[Hex]bool)
+		for _, cell := range disk {
+			if cell.Dist(center) > d {
+				t.Errorf("disk %d contains %v beyond radius", d, cell)
+			}
+			if seen[cell] {
+				t.Errorf("disk %d: duplicate %v", d, cell)
+			}
+			seen[cell] = true
+		}
+	}
+}
+
+func TestHexDiskMatchesBFS(t *testing.T) {
+	// Independent enumeration: breadth-first search over neighbors.
+	center := Hex{1, 1}
+	const d = 8
+	dist := map[Hex]int{center: 0}
+	frontier := []Hex{center}
+	for depth := 1; depth <= d; depth++ {
+		var next []Hex
+		for _, cell := range frontier {
+			for _, nb := range cell.Neighbors() {
+				if _, ok := dist[nb]; !ok {
+					dist[nb] = depth
+					next = append(next, nb)
+				}
+			}
+		}
+		frontier = next
+	}
+	disk := HexDisk(center, d)
+	if len(disk) != len(dist) {
+		t.Fatalf("HexDisk has %d cells, BFS found %d", len(disk), len(dist))
+	}
+	for _, cell := range disk {
+		want, ok := dist[cell]
+		if !ok {
+			t.Errorf("cell %v in disk but not reached by BFS", cell)
+			continue
+		}
+		if got := cell.Dist(center); got != want {
+			t.Errorf("cell %v: Dist = %d, BFS depth = %d", cell, got, want)
+		}
+	}
+}
+
+func TestHexNeighborsAreDistanceOne(t *testing.T) {
+	f := func(q, r int8) bool {
+		h := Hex{int(q), int(r)}
+		for _, nb := range h.Neighbors() {
+			if h.Dist(nb) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexNeighborsDistinct(t *testing.T) {
+	h := Hex{4, -2}
+	seen := make(map[Hex]bool)
+	for _, nb := range h.Neighbors() {
+		if nb == h {
+			t.Errorf("cell is its own neighbor")
+		}
+		if seen[nb] {
+			t.Errorf("duplicate neighbor %v", nb)
+		}
+		seen[nb] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("expected 6 distinct neighbors, got %d", len(seen))
+	}
+}
+
+func TestHexDistProperties(t *testing.T) {
+	// Symmetry, identity, triangle inequality.
+	f := func(aq, ar, bq, br, cq, cr int8) bool {
+		a := Hex{int(aq), int(ar)}
+		b := Hex{int(bq), int(br)}
+		c := Hex{int(cq), int(cr)}
+		if a.Dist(b) != b.Dist(a) {
+			return false
+		}
+		if a.Dist(a) != 0 {
+			return false
+		}
+		if a.Dist(b) == 0 && a != b {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexDistMatchesWalkLength(t *testing.T) {
+	// Distance equals the minimum number of neighbor moves, verified by
+	// walking greedily toward the target.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a := Hex{rng.Intn(21) - 10, rng.Intn(21) - 10}
+		b := Hex{rng.Intn(21) - 10, rng.Intn(21) - 10}
+		steps := 0
+		cur := a
+		for cur != b {
+			// Greedy: pick any neighbor strictly closer to b.
+			moved := false
+			for _, nb := range cur.Neighbors() {
+				if nb.Dist(b) < cur.Dist(b) {
+					cur = nb
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				t.Fatalf("stuck at %v heading to %v", cur, b)
+			}
+			steps++
+		}
+		if steps != a.Dist(b) {
+			t.Errorf("walk from %v to %v took %d steps, Dist = %d", a, b, steps, a.Dist(b))
+		}
+	}
+}
+
+func TestHexAddSubScale(t *testing.T) {
+	a := Hex{2, -3}
+	b := Hex{-1, 4}
+	if got := a.Add(b); got != (Hex{1, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Hex{3, -7}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(3); got != (Hex{6, -9}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.String(); got != "(2,-3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestHexRingTranslationInvariant(t *testing.T) {
+	offset := Hex{7, -4}
+	for i := 0; i <= 6; i++ {
+		at0 := HexRing(Hex{}, i)
+		atOff := HexRing(offset, i)
+		if len(at0) != len(atOff) {
+			t.Fatalf("ring %d: size differs after translation", i)
+		}
+		set := make(map[Hex]bool, len(atOff))
+		for _, c := range atOff {
+			set[c] = true
+		}
+		for _, c := range at0 {
+			if !set[c.Add(offset)] {
+				t.Errorf("ring %d: %v+offset missing from translated ring", i, c)
+			}
+		}
+	}
+}

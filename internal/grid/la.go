@@ -1,0 +1,76 @@
+package grid
+
+import "fmt"
+
+// Location-area (LA) tilings for the LA-based baseline scheme
+// [Xie, Tabbane & Goodman 1993]: the coverage area is statically partitioned
+// into equal location areas; a terminal updates when it enters a new LA and
+// the network pages the whole LA in one polling cycle.
+//
+// In 1-D an LA is a segment of Size consecutive cells. In 2-D it is the
+// radius-R hexagonal cluster of g(R) = 3R²+3R+1 cells — the classic
+// cellular reuse-cluster tiling (N = i²+ij+j² with i=R, j=R+1), whose
+// centers form the lattice spanned by t1 = (2R+1, −R) and t2 = (R, R+1) in
+// axial coordinates.
+
+// LineLAStart returns the first cell of the size-cell location area
+// containing l, using segments [k·size, (k+1)·size−1].
+func LineLAStart(l Line, size int) Line {
+	if size <= 0 {
+		panic(fmt.Sprintf("grid: non-positive LA size %d", size))
+	}
+	x := int(l)
+	k := x / size
+	if x < 0 && x%size != 0 {
+		k--
+	}
+	return Line(k * size)
+}
+
+// HexLACenter returns the center of the radius-R hexagonal location area
+// containing h. Radius 0 means single-cell LAs.
+func HexLACenter(h Hex, radius int) Hex {
+	if radius < 0 {
+		panic(fmt.Sprintf("grid: negative LA radius %d", radius))
+	}
+	if radius == 0 {
+		return h
+	}
+	r := radius
+	t1 := Hex{2*r + 1, -r}
+	t2 := Hex{r, r + 1}
+	n := 3*r*r + 3*r + 1
+	// Invert the lattice basis: (a, b) = M⁻¹·(q, r) with
+	// M = [[2R+1, R], [−R, R+1]] and det N = 3R²+3R+1.
+	af := (float64(r+1)*float64(h.Q) - float64(r)*float64(h.R)) / float64(n)
+	bf := (float64(r)*float64(h.Q) + float64(2*r+1)*float64(h.R)) / float64(n)
+	a0 := int(roundHalfAway(af))
+	b0 := int(roundHalfAway(bf))
+	// The rounded lattice point is within one step of the true center;
+	// search its neighborhood for the unique center within distance R.
+	best := Hex{}
+	bestDist := -1
+	for da := -1; da <= 1; da++ {
+		for db := -1; db <= 1; db++ {
+			c := t1.Scale(a0 + da).Add(t2.Scale(b0 + db))
+			d := h.Dist(c)
+			if bestDist < 0 || d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+	}
+	if bestDist > radius {
+		// The radius-R disks tile the plane exactly, so this cannot
+		// happen for a correct basis; it guards the arithmetic.
+		panic(fmt.Sprintf("grid: no LA center within %d of %v (nearest %v at %d)",
+			radius, h, best, bestDist))
+	}
+	return best
+}
+
+func roundHalfAway(x float64) float64 {
+	if x >= 0 {
+		return float64(int(x + 0.5))
+	}
+	return -float64(int(-x + 0.5))
+}

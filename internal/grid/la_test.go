@@ -1,0 +1,140 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineLAStart(t *testing.T) {
+	cases := []struct {
+		cell  Line
+		size  int
+		start Line
+	}{
+		{0, 5, 0},
+		{4, 5, 0},
+		{5, 5, 5},
+		{-1, 5, -5},
+		{-5, 5, -5},
+		{-6, 5, -10},
+		{7, 1, 7},
+	}
+	for _, tc := range cases {
+		if got := LineLAStart(tc.cell, tc.size); got != tc.start {
+			t.Errorf("LineLAStart(%d, %d) = %d, want %d", tc.cell, tc.size, got, tc.start)
+		}
+	}
+}
+
+func TestLineLAStartPartition(t *testing.T) {
+	f := func(x int16, s uint8) bool {
+		size := int(s%20) + 1
+		start := LineLAStart(Line(x), size)
+		// The cell lies inside its segment.
+		if int(x) < int(start) || int(x) >= int(start)+size {
+			return false
+		}
+		// Every cell of the segment maps back to the same start.
+		for i := 0; i < size; i++ {
+			if LineLAStart(start+Line(i), size) != start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHexLACenterRadiusZero(t *testing.T) {
+	h := Hex{3, -5}
+	if got := HexLACenter(h, 0); got != h {
+		t.Errorf("radius 0: %v", got)
+	}
+}
+
+func TestHexLACenterWithinRadius(t *testing.T) {
+	for _, radius := range []int{1, 2, 3, 5} {
+		for _, h := range HexDisk(Hex{}, 12) {
+			c := HexLACenter(h, radius)
+			if d := h.Dist(c); d > radius {
+				t.Fatalf("radius %d: cell %v assigned to %v at distance %d", radius, h, c, d)
+			}
+		}
+	}
+}
+
+func TestHexLACenterIdempotent(t *testing.T) {
+	for _, radius := range []int{1, 2, 4} {
+		for _, h := range HexDisk(Hex{}, 10) {
+			c := HexLACenter(h, radius)
+			if cc := HexLACenter(c, radius); cc != c {
+				t.Fatalf("radius %d: center %v maps to %v", radius, c, cc)
+			}
+		}
+	}
+}
+
+func TestHexLAClusterSizes(t *testing.T) {
+	// Counting cells per center over a large disk: interior clusters must
+	// have exactly g(R) cells.
+	for _, radius := range []int{1, 2} {
+		counts := make(map[Hex]int)
+		const probe = 14
+		for _, h := range HexDisk(Hex{}, probe) {
+			counts[HexLACenter(h, radius)]++
+		}
+		want := TwoDimHex.DiskSize(radius)
+		full := 0
+		for c, n := range counts {
+			if n > want {
+				t.Errorf("radius %d: cluster %v has %d cells, max %d", radius, c, n, want)
+			}
+			// Clusters fully inside the probe disk must be complete.
+			if c.Ring() <= probe-2*radius-1 {
+				if n != want {
+					t.Errorf("radius %d: interior cluster %v has %d cells, want %d", radius, c, n, want)
+				}
+				full++
+			}
+		}
+		if full == 0 {
+			t.Errorf("radius %d: no interior clusters probed", radius)
+		}
+	}
+}
+
+func TestHexLACenterLatticeProperty(t *testing.T) {
+	// Centers form the lattice spanned by t1 and t2: translating a cell by
+	// a basis vector translates its center likewise.
+	radius := 3
+	t1 := Hex{2*radius + 1, -radius}
+	t2 := Hex{radius, radius + 1}
+	f := func(q, r int8) bool {
+		h := Hex{int(q), int(r)}
+		c := HexLACenter(h, radius)
+		return HexLACenter(h.Add(t1), radius) == c.Add(t1) &&
+			HexLACenter(h.Add(t2), radius) == c.Add(t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLAPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { LineLAStart(0, 0) },
+		func() { LineLAStart(3, -1) },
+		func() { HexLACenter(Hex{}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,52 @@
+package grid
+
+import "fmt"
+
+// Line is a cell position on the one-dimensional grid: cells are indexed by
+// consecutive integers, the center cell of the coverage area is 0.
+type Line int
+
+// Neighbors returns the two adjacent cells.
+func (l Line) Neighbors() [2]Line { return [2]Line{l - 1, l + 1} }
+
+// Neighbor returns the i-th of the two adjacent cells (0 = left, 1 = right).
+func (l Line) Neighbor(i int) Line {
+	if i == 0 {
+		return l - 1
+	}
+	return l + 1
+}
+
+// Dist returns the distance (in rings) between l and o.
+func (l Line) Dist(o Line) int { return abs(int(l) - int(o)) }
+
+// Ring returns the ring index of l relative to the center cell 0.
+func (l Line) Ring() int { return abs(int(l)) }
+
+// String formats the cell index.
+func (l Line) String() string { return fmt.Sprintf("%d", int(l)) }
+
+// LineRing enumerates the cells of ring i around center: {center} for i = 0
+// and {center−i, center+i} otherwise.
+func LineRing(center Line, i int) []Line {
+	if i < 0 {
+		panic(fmt.Sprintf("grid: negative ring index %d", i))
+	}
+	if i == 0 {
+		return []Line{center}
+	}
+	return []Line{center - Line(i), center + Line(i)}
+}
+
+// LineDisk enumerates all cells within distance d of center, ring by ring
+// from the center outward. The result has exactly g(d) = 2d+1 cells.
+func LineDisk(center Line, d int) []Line {
+	if d < 0 {
+		panic(fmt.Sprintf("grid: negative distance %d", d))
+	}
+	out := make([]Line, 0, OneDim.DiskSize(d))
+	for i := 0; i <= d; i++ {
+		out = append(out, LineRing(center, i)...)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineNeighbors(t *testing.T) {
+	l := Line(5)
+	nbs := l.Neighbors()
+	if nbs[0] != 4 || nbs[1] != 6 {
+		t.Errorf("Neighbors(5) = %v", nbs)
+	}
+	if l.Neighbor(0) != 4 || l.Neighbor(1) != 6 {
+		t.Errorf("Neighbor indexing wrong")
+	}
+}
+
+func TestLineDistRing(t *testing.T) {
+	if got := Line(-3).Dist(Line(4)); got != 7 {
+		t.Errorf("Dist(-3,4) = %d, want 7", got)
+	}
+	if got := Line(-5).Ring(); got != 5 {
+		t.Errorf("Ring(-5) = %d, want 5", got)
+	}
+	if got := Line(0).Ring(); got != 0 {
+		t.Errorf("Ring(0) = %d, want 0", got)
+	}
+	if got := Line(-2).String(); got != "-2" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestLineRingEnumeration(t *testing.T) {
+	if got := LineRing(10, 0); len(got) != 1 || got[0] != 10 {
+		t.Errorf("LineRing(10,0) = %v", got)
+	}
+	got := LineRing(10, 3)
+	if len(got) != 2 || got[0] != 7 || got[1] != 13 {
+		t.Errorf("LineRing(10,3) = %v", got)
+	}
+}
+
+func TestLineDiskMatchesEquation1(t *testing.T) {
+	for d := 0; d <= 20; d++ {
+		disk := LineDisk(0, d)
+		if got, want := len(disk), 2*d+1; got != want {
+			t.Errorf("len(LineDisk(%d)) = %d, want %d", d, got, want)
+		}
+		seen := make(map[Line]bool)
+		for _, c := range disk {
+			if c.Ring() > d {
+				t.Errorf("disk %d contains %v beyond radius", d, c)
+			}
+			if seen[c] {
+				t.Errorf("disk %d: duplicate %v", d, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestLineDistProperties(t *testing.T) {
+	f := func(a, b, c int16) bool {
+		x, y, z := Line(a), Line(b), Line(c)
+		if x.Dist(y) != y.Dist(x) {
+			return false
+		}
+		if x.Dist(x) != 0 {
+			return false
+		}
+		return x.Dist(z) <= x.Dist(y)+y.Dist(z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineNeighborsAreDistanceOne(t *testing.T) {
+	f := func(a int16) bool {
+		l := Line(a)
+		for _, nb := range l.Neighbors() {
+			if l.Dist(nb) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

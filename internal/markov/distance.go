@@ -1,0 +1,51 @@
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+)
+
+// DistanceChain builds the full transition matrix of the paper's distance
+// Markov chain (states 0..d) for the given model and parameters, directly
+// from the mechanism: a call arrival (probability c) or an update-triggering
+// move out of ring d resets the state to 0; other moves shift the ring
+// index; the remainder self-loops.
+//
+// It is the generic-matrix counterpart of chain.Stationary and exists so
+// the structured O(d) solver can be cross-validated against a dense direct
+// solution.
+func DistanceChain(m chain.Model, p chain.Params, d int) (*Chain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if d < 0 {
+		return nil, fmt.Errorf("markov: negative threshold %d", d)
+	}
+	mat := make([][]float64, d+1)
+	for i := range mat {
+		mat[i] = make([]float64, d+1)
+	}
+	for i := 0; i <= d; i++ {
+		up := m.Up(p, i)
+		down := m.Down(p, i)
+		if i == 0 {
+			if d >= 1 {
+				mat[0][1] += up
+				mat[0][0] += 1 - up
+			} else {
+				mat[0][0] = 1
+			}
+			continue
+		}
+		mat[i][0] += p.C
+		if i < d {
+			mat[i][i+1] += up
+		} else {
+			mat[i][0] += up
+		}
+		mat[i][i-1] += down
+		mat[i][i] += 1 - p.C - up - down
+	}
+	return New(mat)
+}

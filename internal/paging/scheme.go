@@ -1,0 +1,215 @@
+package paging
+
+import (
+	"fmt"
+	"math"
+)
+
+// A Scheme partitions the rings 0..d of a residing area into at most m
+// subareas. ringSizes[i] is N(r_i); pi, when non-nil, gives the stationary
+// ring probabilities p_0..p_d for probability-aware schemes (schemes that
+// ignore probabilities accept pi == nil). m follows the paper's convention:
+// the terminal must be found within m polling cycles; Unbounded means no
+// constraint.
+type Scheme interface {
+	// Name identifies the scheme in reports and benchmarks.
+	Name() string
+	// Partition returns a valid partition with at most
+	// min(len(ringSizes), m) subareas.
+	Partition(ringSizes []int, pi []float64, m int) Partition
+}
+
+// SDF is the paper's shortest-distance-first partitioner (Section 2.2):
+// ℓ = min(d+1, m) subareas, the first ℓ−1 holding γ = ⌊(d+1)/ℓ⌋ rings each
+// and the last holding the remainder. Rings nearer the center — the more
+// probable terminal locations under the random-walk model — are polled
+// first.
+type SDF struct{}
+
+// Name implements Scheme.
+func (SDF) Name() string { return "sdf" }
+
+// Partition implements Scheme.
+func (SDF) Partition(ringSizes []int, _ []float64, m int) Partition {
+	d := len(ringSizes) - 1
+	l := subareaCount(d, m)
+	gamma := (d + 1) / l
+	bounds := make([]int, l-1)
+	for j := 1; j < l; j++ {
+		bounds[j-1] = j * gamma
+	}
+	return build(ringSizes, bounds)
+}
+
+// Blanket polls the entire residing area in a single cycle regardless of m.
+// It is the behaviour forced by m = 1 and the paging discipline of the
+// LA-based baseline scheme [Xie, Tabbane & Goodman].
+type Blanket struct{}
+
+// Name implements Scheme.
+func (Blanket) Name() string { return "blanket" }
+
+// Partition implements Scheme.
+func (Blanket) Partition(ringSizes []int, _ []float64, _ int) Partition {
+	return build(ringSizes, nil)
+}
+
+// PerRing polls one ring per cycle (the unconstrained-delay discipline of
+// the paper and of Madhow, Honig & Steiglitz). If m is binding, the last
+// subarea absorbs the remaining rings so the delay bound still holds.
+type PerRing struct{}
+
+// Name implements Scheme.
+func (PerRing) Name() string { return "per-ring" }
+
+// Partition implements Scheme.
+func (PerRing) Partition(ringSizes []int, _ []float64, m int) Partition {
+	d := len(ringSizes) - 1
+	l := subareaCount(d, m)
+	bounds := make([]int, l-1)
+	for j := 1; j < l; j++ {
+		bounds[j-1] = j
+	}
+	return build(ringSizes, bounds)
+}
+
+// EqualCells greedily balances the number of cells per subarea: each of the
+// ℓ subareas aims for g(d)/ℓ cells. In the 2-D model outer rings hold many
+// more cells than inner ones, so this front-loads many inner rings into the
+// first cycle — a natural alternative the paper's "other partitioning
+// methods" remark invites.
+type EqualCells struct{}
+
+// Name implements Scheme.
+func (EqualCells) Name() string { return "equal-cells" }
+
+// Partition implements Scheme.
+func (EqualCells) Partition(ringSizes []int, _ []float64, m int) Partition {
+	d := len(ringSizes) - 1
+	l := subareaCount(d, m)
+	total := 0
+	for _, n := range ringSizes {
+		total += n
+	}
+	target := float64(total) / float64(l)
+	var bounds []int
+	cells := 0
+	filled := 0 // subareas already closed
+	for i := 0; i <= d; i++ {
+		cells += ringSizes[i]
+		// Close the current subarea once it reaches its share, keeping
+		// enough rings for the remaining subareas.
+		remainingRings := d - i
+		remainingAreas := l - filled - 1
+		if remainingAreas > 0 && float64(cells) >= target*float64(filled+1) && remainingRings >= remainingAreas {
+			bounds = append(bounds, i+1)
+			filled++
+		}
+	}
+	return build(ringSizes, bounds)
+}
+
+// OptimalDP computes the partition minimizing the expected number of polled
+// cells Σ_j π(A_j)·w_j subject to the delay bound, by dynamic programming
+// over ring boundaries (the Rose & Yates optimal sequential paging
+// structure applied to whole rings). It needs the stationary ring
+// probabilities; with pi == nil it panics.
+//
+// The paper's future-work section calls for "an optimal method for
+// partitioning the residing area"; this scheme is that extension, and the
+// partition-ablation benchmark quantifies its gain over SDF.
+type OptimalDP struct{}
+
+// Name implements Scheme.
+func (OptimalDP) Name() string { return "optimal-dp" }
+
+// Partition implements Scheme.
+func (OptimalDP) Partition(ringSizes []int, pi []float64, m int) Partition {
+	if pi == nil {
+		panic("paging: OptimalDP requires ring probabilities")
+	}
+	d := len(ringSizes) - 1
+	if len(pi) != d+1 {
+		panic(fmt.Sprintf("paging: %d probabilities for %d rings", len(pi), d+1))
+	}
+	l := subareaCount(d, m)
+
+	// Prefix sums: cells[i] = Σ_{k<i} N(r_k), mass[i] = Σ_{k<i} p_k.
+	cells := make([]int, d+2)
+	mass := make([]float64, d+2)
+	for i := 0; i <= d; i++ {
+		cells[i+1] = cells[i] + ringSizes[i]
+		mass[i+1] = mass[i] + pi[i]
+	}
+
+	// cost[j][i]: minimum expected polled cells covering rings 0..i−1 with
+	// exactly j subareas, where each subarea ending at ring b−1 contributes
+	// π(A_j)·w_j = (mass over the subarea)·(total cells through ring b−1).
+	const inf = math.MaxFloat64
+	cost := make([][]float64, l+1)
+	prev := make([][]int, l+1)
+	for j := range cost {
+		cost[j] = make([]float64, d+2)
+		prev[j] = make([]int, d+2)
+		for i := range cost[j] {
+			cost[j][i] = inf
+			prev[j][i] = -1
+		}
+	}
+	cost[0][0] = 0
+	for j := 1; j <= l; j++ {
+		for i := j; i <= d+1; i++ {
+			for k := j - 1; k < i; k++ {
+				if cost[j-1][k] == inf {
+					continue
+				}
+				c := cost[j-1][k] + (mass[i]-mass[k])*float64(cells[i])
+				if c < cost[j][i] {
+					cost[j][i] = c
+					prev[j][i] = k
+				}
+			}
+		}
+	}
+	// The optimum may use fewer than l subareas only if some subarea would
+	// be empty; with all subareas non-empty, using all l is never worse
+	// (splitting a subarea cannot increase cost). Take exactly the best
+	// j ≤ l covering d+1 rings.
+	bestJ, bestCost := 1, cost[1][d+1]
+	for j := 2; j <= l; j++ {
+		if cost[j][d+1] < bestCost {
+			bestJ, bestCost = j, cost[j][d+1]
+		}
+	}
+	_ = bestCost
+	// Reconstruct boundaries.
+	var bounds []int
+	i := d + 1
+	for j := bestJ; j > 1; j-- {
+		i = prev[j][i]
+		bounds = append(bounds, i)
+	}
+	// bounds collected in reverse order.
+	for a, b := 0, len(bounds)-1; a < b; a, b = a+1, b-1 {
+		bounds[a], bounds[b] = bounds[b], bounds[a]
+	}
+	return build(ringSizes, bounds)
+}
+
+// ByName returns the named scheme, for CLI flag parsing.
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "sdf":
+		return SDF{}, nil
+	case "blanket":
+		return Blanket{}, nil
+	case "per-ring":
+		return PerRing{}, nil
+	case "equal-cells":
+		return EqualCells{}, nil
+	case "optimal-dp":
+		return OptimalDP{}, nil
+	default:
+		return nil, fmt.Errorf("paging: unknown scheme %q (want sdf, blanket, per-ring, equal-cells or optimal-dp)", name)
+	}
+}

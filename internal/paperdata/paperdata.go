@@ -1,0 +1,142 @@
+// Package paperdata holds the published evaluation data of Akyildiz & Ho
+// (SIGCOMM '95) — every row of Tables 1 and 2 and the parameter grids of
+// Figures 4 and 5 — as Go values. Tests, the benchmark harness and the
+// experiment reports all read from this single transcription.
+package paperdata
+
+// Params1D / Params2D are the fixed parameters of Tables 1 and 2:
+// c = 0.01, q = 0.05, V = 10, U varying per row.
+const (
+	TableCallProb = 0.01
+	TableMoveProb = 0.05
+	TablePollCost = 10.0
+)
+
+// Table1Row is one row of Table 1 (one-dimensional model): the optimal
+// threshold distance and average total cost per maximum paging delay.
+type Table1Row struct {
+	U float64
+	// D and CT are indexed by delay column: 0 → m=1, 1 → m=2, 2 → m=3,
+	// 3 → unbounded.
+	D  [4]int
+	CT [4]float64
+}
+
+// Table1Delays maps the column index of Table1Row to the paging delay m
+// (0 = unbounded).
+var Table1Delays = [4]int{1, 2, 3, 0}
+
+// Table1 is the paper's Table 1, "Optimal Threshold Distance and Average
+// Total Cost for One-Dimensional Mobility Model". Note DESIGN.md §4: the
+// published numbers require the legacy d=0 update rate (q/2).
+var Table1 = []Table1Row{
+	{1, [4]int{0, 0, 0, 0}, [4]float64{0.125, 0.125, 0.125, 0.125}},
+	{2, [4]int{0, 0, 0, 0}, [4]float64{0.150, 0.150, 0.150, 0.150}},
+	{3, [4]int{0, 0, 0, 0}, [4]float64{0.175, 0.175, 0.175, 0.175}},
+	{4, [4]int{0, 0, 0, 0}, [4]float64{0.200, 0.200, 0.200, 0.200}},
+	{5, [4]int{0, 0, 0, 0}, [4]float64{0.225, 0.225, 0.225, 0.225}},
+	{6, [4]int{0, 0, 0, 0}, [4]float64{0.250, 0.250, 0.250, 0.250}},
+	{7, [4]int{0, 1, 1, 1}, [4]float64{0.275, 0.270, 0.270, 0.270}},
+	{8, [4]int{0, 1, 1, 1}, [4]float64{0.300, 0.282, 0.282, 0.282}},
+	{9, [4]int{0, 1, 2, 2}, [4]float64{0.325, 0.293, 0.291, 0.291}},
+	{10, [4]int{0, 1, 2, 2}, [4]float64{0.350, 0.305, 0.296, 0.296}},
+	{20, [4]int{1, 1, 2, 3}, [4]float64{0.527, 0.418, 0.339, 0.338}},
+	{30, [4]int{2, 2, 2, 3}, [4]float64{0.630, 0.465, 0.382, 0.357}},
+	{40, [4]int{2, 3, 3, 4}, [4]float64{0.673, 0.486, 0.415, 0.371}},
+	{50, [4]int{2, 3, 3, 4}, [4]float64{0.716, 0.506, 0.435, 0.381}},
+	{60, [4]int{2, 3, 3, 5}, [4]float64{0.760, 0.526, 0.454, 0.386}},
+	{70, [4]int{2, 3, 3, 6}, [4]float64{0.803, 0.545, 0.474, 0.391}},
+	{80, [4]int{2, 3, 3, 6}, [4]float64{0.846, 0.565, 0.494, 0.394}},
+	{90, [4]int{3, 4, 5, 7}, [4]float64{0.878, 0.579, 0.510, 0.396}},
+	{100, [4]int{3, 4, 5, 7}, [4]float64{0.897, 0.589, 0.515, 0.397}},
+	{200, [4]int{3, 4, 6, 12}, [4]float64{1.095, 0.686, 0.548, 0.401}},
+	{300, [4]int{4, 6, 7, 17}, [4]float64{1.193, 0.724, 0.565, 0.402}},
+	{400, [4]int{4, 6, 7, 22}, [4]float64{1.290, 0.750, 0.579, 0.402}},
+	{500, [4]int{5, 6, 7, 27}, [4]float64{1.351, 0.776, 0.593, 0.402}},
+	{600, [4]int{5, 6, 7, 32}, [4]float64{1.401, 0.803, 0.607, 0.402}},
+	{700, [4]int{5, 6, 7, 37}, [4]float64{1.451, 0.829, 0.621, 0.402}},
+	{800, [4]int{5, 6, 7, 42}, [4]float64{1.501, 0.855, 0.635, 0.402}},
+	{900, [4]int{6, 8, 7, 47}, [4]float64{1.537, 0.868, 0.649, 0.402}},
+	{1000, [4]int{6, 8, 7, 52}, [4]float64{1.563, 0.876, 0.663, 0.402}},
+}
+
+// Table2Cell is one delay column of a Table 2 row: the exact optimum
+// (d*, C_T) and the uncorrected near-optimal result (d′, C′_T).
+type Table2Cell struct {
+	DStar  int
+	DNear  int
+	CT     float64
+	CTNear float64
+}
+
+// Table2Row is one row of Table 2 (two-dimensional model). Columns are
+// indexed 0 → m=1, 1 → m=3, 2 → unbounded.
+type Table2Row struct {
+	U     float64
+	Cells [3]Table2Cell
+}
+
+// Table2Delays maps the column index of Table2Row to the paging delay m
+// (0 = unbounded).
+var Table2Delays = [3]int{1, 3, 0}
+
+// Table2 is the paper's Table 2, "Optimal Threshold Distance and Average
+// Total Cost for Two-Dimensional Mobility Model". The d′/C′_T columns are
+// the uncorrected near-optimal pipeline with the legacy d=0 update rate
+// (q/3); C_T columns are the exact recursive solution.
+var Table2 = []Table2Row{
+	{1, [3]Table2Cell{{0, 0, 0.150, 0.150}, {0, 0, 0.150, 0.150}, {0, 0, 0.150, 0.150}}},
+	{2, [3]Table2Cell{{0, 0, 0.200, 0.200}, {0, 0, 0.200, 0.200}, {0, 0, 0.200, 0.200}}},
+	{3, [3]Table2Cell{{0, 0, 0.250, 0.250}, {0, 0, 0.250, 0.250}, {0, 0, 0.250, 0.250}}},
+	{4, [3]Table2Cell{{0, 0, 0.300, 0.300}, {0, 0, 0.300, 0.300}, {0, 0, 0.300, 0.300}}},
+	{5, [3]Table2Cell{{0, 0, 0.350, 0.350}, {0, 0, 0.350, 0.350}, {0, 0, 0.350, 0.350}}},
+	{6, [3]Table2Cell{{0, 0, 0.400, 0.400}, {0, 0, 0.400, 0.400}, {0, 0, 0.400, 0.400}}},
+	{7, [3]Table2Cell{{0, 0, 0.450, 0.450}, {0, 0, 0.450, 0.450}, {0, 0, 0.450, 0.450}}},
+	{8, [3]Table2Cell{{0, 0, 0.500, 0.500}, {0, 0, 0.500, 0.500}, {0, 0, 0.500, 0.500}}},
+	{9, [3]Table2Cell{{0, 0, 0.550, 0.550}, {1, 0, 0.542, 0.550}, {1, 0, 0.542, 0.550}}},
+	{10, [3]Table2Cell{{0, 0, 0.600, 0.600}, {1, 0, 0.555, 0.600}, {1, 0, 0.555, 0.600}}},
+	{20, [3]Table2Cell{{1, 0, 0.968, 1.100}, {1, 0, 0.689, 1.100}, {1, 0, 0.689, 1.100}}},
+	{30, [3]Table2Cell{{1, 0, 1.102, 1.600}, {1, 0, 0.823, 1.600}, {1, 0, 0.823, 1.600}}},
+	{40, [3]Table2Cell{{1, 0, 1.236, 2.100}, {1, 0, 0.957, 2.100}, {1, 0, 0.957, 2.100}}},
+	{50, [3]Table2Cell{{1, 0, 1.370, 2.600}, {2, 2, 1.074, 1.074}, {2, 2, 1.074, 1.074}}},
+	{60, [3]Table2Cell{{1, 0, 1.504, 3.100}, {2, 2, 1.126, 1.126}, {2, 2, 1.126, 1.126}}},
+	{70, [3]Table2Cell{{1, 0, 1.638, 3.600}, {2, 2, 1.178, 1.178}, {2, 2, 1.178, 1.178}}},
+	{80, [3]Table2Cell{{1, 1, 1.771, 1.771}, {2, 2, 1.231, 1.231}, {2, 2, 1.231, 1.231}}},
+	{90, [3]Table2Cell{{1, 1, 1.905, 1.905}, {2, 2, 1.283, 1.283}, {2, 2, 1.283, 1.283}}},
+	{100, [3]Table2Cell{{1, 1, 2.039, 2.039}, {2, 2, 1.335, 1.335}, {2, 2, 1.335, 1.335}}},
+	{200, [3]Table2Cell{{2, 1, 2.945, 3.379}, {2, 2, 1.858, 1.858}, {3, 3, 1.683, 1.683}}},
+	{300, [3]Table2Cell{{2, 2, 3.468, 3.468}, {3, 2, 2.372, 2.381}, {4, 3, 1.912, 1.918}}},
+	{400, [3]Table2Cell{{2, 2, 3.991, 3.991}, {3, 3, 2.608, 2.608}, {4, 4, 2.025, 2.025}}},
+	{500, [3]Table2Cell{{2, 2, 4.514, 4.514}, {3, 3, 2.843, 2.843}, {4, 4, 2.138, 2.138}}},
+	{600, [3]Table2Cell{{2, 2, 5.036, 5.036}, {5, 3, 2.955, 3.079}, {5, 5, 2.204, 2.204}}},
+	{700, [3]Table2Cell{{3, 2, 5.349, 5.559}, {5, 5, 3.011, 3.011}, {5, 5, 2.260, 2.260}}},
+	{800, [3]Table2Cell{{3, 2, 5.585, 6.082}, {5, 5, 3.066, 3.066}, {5, 5, 2.315, 2.315}}},
+	{900, [3]Table2Cell{{3, 2, 5.820, 6.604}, {5, 5, 3.122, 3.122}, {6, 6, 2.346, 2.346}}},
+	{1000, [3]Table2Cell{{3, 2, 6.056, 7.127}, {5, 5, 3.177, 3.177}, {6, 6, 2.374, 2.374}}},
+}
+
+// Figure parameter grids (Section 7): Figures 4(a)/(b) sweep the movement
+// probability at fixed c = 0.01, U = 100, V = 1; Figures 5(a)/(b) sweep the
+// call-arrival probability at fixed q = 0.05, U = 100, V = 1. Both use
+// delays m ∈ {1, 2, 3, unbounded}.
+const (
+	FigUpdateCost = 100.0
+	FigPollCost   = 1.0
+	Fig4CallProb  = 0.01
+	Fig5MoveProb  = 0.05
+)
+
+// FigDelays lists the four delay curves of every figure (0 = unbounded).
+var FigDelays = [4]int{1, 2, 3, 0}
+
+// Fig4MoveProbs is the movement-probability sweep of Figures 4(a)/(b)
+// ("varied from 0.001 to 0.5", log-spaced).
+var Fig4MoveProbs = []float64{
+	0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5,
+}
+
+// Fig5CallProbs is the call-probability sweep of Figures 5(a)/(b)
+// ("varied between 0.001 and 0.1", log-spaced).
+var Fig5CallProbs = []float64{
+	0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1,
+}

@@ -1,0 +1,89 @@
+package paperdata
+
+import "testing"
+
+// Sanity checks on the transcription itself. (The stronger check — that
+// every value equals what this repository computes — lives in
+// internal/core's TestReproduceTable1/2.)
+
+func TestTable1Shape(t *testing.T) {
+	if len(Table1) != 28 {
+		t.Fatalf("%d rows, want 28", len(Table1))
+	}
+	prevU := 0.0
+	for _, row := range Table1 {
+		if row.U <= prevU {
+			t.Errorf("U=%v not increasing", row.U)
+		}
+		prevU = row.U
+		// Looser delay bounds never published a higher optimal cost.
+		for col := 1; col < 4; col++ {
+			if row.CT[col] > row.CT[col-1]+1e-9 {
+				t.Errorf("U=%v: C_T column %d (%v) above column %d (%v)",
+					row.U, col, row.CT[col], col-1, row.CT[col-1])
+			}
+		}
+		for col := 0; col < 4; col++ {
+			if row.D[col] < 0 || row.CT[col] <= 0 {
+				t.Errorf("U=%v column %d: nonsensical values", row.U, col)
+			}
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if len(Table2) != 28 {
+		t.Fatalf("%d rows, want 28", len(Table2))
+	}
+	prevU := 0.0
+	for _, row := range Table2 {
+		if row.U <= prevU {
+			t.Errorf("U=%v not increasing", row.U)
+		}
+		prevU = row.U
+		for col, cell := range row.Cells {
+			if cell.DStar < 0 || cell.DNear < 0 || cell.CT <= 0 || cell.CTNear <= 0 {
+				t.Errorf("U=%v column %d: nonsensical values", row.U, col)
+			}
+			// The exact optimum never exceeds the near-optimal cost.
+			if cell.CT > cell.CTNear+1e-9 {
+				t.Errorf("U=%v column %d: C_T %v above C'_T %v", row.U, col, cell.CT, cell.CTNear)
+			}
+			if col > 0 && cell.CT > row.Cells[col-1].CT+1e-9 {
+				t.Errorf("U=%v: exact cost not improving with looser delay", row.U)
+			}
+		}
+		// When the *unbounded* optimum fits in 3 rings (d* ≤ 2), the m=3
+		// bound is not binding at the optimum, so the columns coincide.
+		m3, un := row.Cells[1], row.Cells[2]
+		if un.DStar <= 2 && (m3.DStar != un.DStar || m3.CT != un.CT) {
+			t.Errorf("U=%v: m=3 and unbounded disagree despite unbounded d*=%d", row.U, un.DStar)
+		}
+	}
+}
+
+func TestFigureGrids(t *testing.T) {
+	if len(Fig4MoveProbs) == 0 || len(Fig5CallProbs) == 0 {
+		t.Fatal("empty figure grids")
+	}
+	check := func(name string, xs []float64, lo, hi float64) {
+		prev := 0.0
+		for _, x := range xs {
+			if x <= prev {
+				t.Errorf("%s not increasing at %v", name, x)
+			}
+			if x < lo || x > hi {
+				t.Errorf("%s value %v outside paper range [%v, %v]", name, x, lo, hi)
+			}
+			prev = x
+		}
+	}
+	check("Fig4MoveProbs", Fig4MoveProbs, 0.001, 0.5)
+	check("Fig5CallProbs", Fig5CallProbs, 0.001, 0.1)
+	if Table1Delays != [4]int{1, 2, 3, 0} {
+		t.Error("Table1Delays drifted")
+	}
+	if Table2Delays != [3]int{1, 3, 0} {
+		t.Error("Table2Delays drifted")
+	}
+}

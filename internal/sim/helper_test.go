@@ -1,0 +1,5 @@
+package sim
+
+import "repro/internal/stats"
+
+func newTestRNG() *stats.RNG { return stats.NewRNG(99) }

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chain"
+)
+
+func TestLossZeroIdenticalToBaseline(t *testing.T) {
+	// UpdateLossProb = 0 must not perturb the RNG stream or any metric.
+	cfg := baseConfig(chain.TwoDimExact, 0.1, 0.02, 2, 3)
+	a, err := Run(cfg, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withZero := cfg
+	withZero.UpdateLossProb = 0
+	b, err := Run(withZero, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Updates != b.Updates || a.PolledCells != b.PolledCells || a.Calls != b.Calls {
+		t.Error("explicit zero loss changed the run")
+	}
+	if a.LostUpdates != 0 || a.FallbackCalls != 0 {
+		t.Errorf("loss metrics nonzero without loss: %d lost, %d fallback",
+			a.LostUpdates, a.FallbackCalls)
+	}
+}
+
+func TestLossInjectionRecoversAndCosts(t *testing.T) {
+	cfg := baseConfig(chain.TwoDimExact, 0.1, 0.02, 2, 3)
+	clean, err := Run(cfg, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := cfg
+	lossy.UpdateLossProb = 0.3
+	got, err := Run(lossy, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Losses occurred at roughly the configured rate.
+	rate := float64(got.LostUpdates) / float64(got.Updates)
+	if math.Abs(rate-0.3) > 0.03 {
+		t.Errorf("loss rate %v, want ≈ 0.3", rate)
+	}
+	// Some pages missed the nominal plan and fell back — but every call
+	// was still resolved (no NotFound) and every fallback was counted.
+	if got.FallbackCalls == 0 {
+		t.Error("no fallback pages despite 30% update loss")
+	}
+	if got.NotFound != 0 {
+		t.Errorf("%d unresolved calls", got.NotFound)
+	}
+	if int64(got.Delay.N()) != got.Calls {
+		t.Errorf("delay samples %d != calls %d", got.Delay.N(), got.Calls)
+	}
+	// Loss makes paging strictly more expensive on average.
+	if got.PagingCost <= clean.PagingCost {
+		t.Errorf("paging cost %v not above lossless %v", got.PagingCost, clean.PagingCost)
+	}
+	if got.Delay.Mean() <= clean.Delay.Mean() {
+		t.Errorf("mean delay %v not above lossless %v", got.Delay.Mean(), clean.Delay.Mean())
+	}
+}
+
+func TestLossSensitivityMonotone(t *testing.T) {
+	// More loss → more fallback work → higher paging cost.
+	cfg := baseConfig(chain.TwoDimExact, 0.1, 0.02, 2, 2)
+	prev := -1.0
+	for _, loss := range []float64{0, 0.2, 0.5, 0.8} {
+		c := cfg
+		c.UpdateLossProb = loss
+		m, err := Run(c, 300_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NotFound != 0 {
+			t.Fatalf("loss=%v: %d unresolved calls", loss, m.NotFound)
+		}
+		if m.PagingCost < prev {
+			t.Errorf("loss=%v: paging cost %v below %v at lower loss", loss, m.PagingCost, prev)
+		}
+		prev = m.PagingCost
+	}
+}
+
+func TestLossWithDynamicThresholds(t *testing.T) {
+	// Dynamic re-optimization updates can be lost too; the fallback must
+	// keep the system consistent.
+	cfg := baseConfig(chain.TwoDimExact, 0.2, 0.02, 2, 1)
+	cfg.Dynamic = true
+	cfg.ReoptimizeEvery = 500
+	cfg.UpdateLossProb = 0.5
+	m, err := Run(cfg, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NotFound != 0 {
+		t.Errorf("%d unresolved calls under loss + dynamic thresholds", m.NotFound)
+	}
+}
+
+func TestLossValidation(t *testing.T) {
+	cfg := baseConfig(chain.OneDim, 0.1, 0.05, 1, 1)
+	for _, bad := range []float64{-0.1, 1.0, 1.5} {
+		c := cfg
+		c.UpdateLossProb = bad
+		if _, err := Run(c, 100); err == nil {
+			t.Errorf("loss %v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/paging"
+	"repro/internal/wire"
+)
+
+// partInfo caches the paging plan for one threshold: the partition and the
+// per-ring subarea index.
+type partInfo struct {
+	part        paging.Partition
+	ringSubarea []int
+}
+
+// network is the fixed-network side: the HLR location registry, the paging
+// controller, and the signalling accounting.
+type network struct {
+	cfg     Config
+	loc     locator
+	sched   *des.Scheduler
+	hlr     map[uint32]hlrRecord
+	metrics *Metrics
+	parts   map[int]partInfo
+	callSeq uint32
+	scratch []byte // reused encode buffer for byte accounting
+}
+
+func (n *network) term(id uint32) *TerminalStats {
+	return &n.metrics.PerTerminal[id]
+}
+
+// partitionFor returns (building and caching on demand) the paging plan for
+// threshold d. Probability-aware schemes receive the stationary
+// distribution of the network's configured average parameters — the best
+// information the fixed network has.
+func (n *network) partitionFor(d int) partInfo {
+	if pi, ok := n.parts[d]; ok {
+		return pi
+	}
+	rings := n.cfg.Core.Model.Grid().RingSizes(d)
+	var probs []float64
+	if _, needs := n.scheme().(paging.OptimalDP); needs {
+		var err error
+		probs, err = chain.Stationary(n.cfg.Core.Model, n.cfg.Core.Params, d)
+		if err != nil {
+			// Validated config cannot fail here; treat as a bug.
+			panic(fmt.Sprintf("sim: stationary distribution: %v", err))
+		}
+	}
+	part := n.scheme().Partition(rings, probs, n.cfg.Core.MaxDelay)
+	ringSub := make([]int, d+1)
+	for j, s := range part {
+		for i := s.FirstRing; i <= s.LastRing; i++ {
+			ringSub[i] = j
+		}
+	}
+	pi := partInfo{part: part, ringSubarea: ringSub}
+	n.parts[d] = pi
+	return pi
+}
+
+func (n *network) scheme() paging.Scheme {
+	if n.cfg.Core.Scheme == nil {
+		return paging.SDF{}
+	}
+	return n.cfg.Core.Scheme
+}
+
+// sendUpdate transmits an uplink location-update message from t: the
+// terminal pays for the transmission (cost and bytes) unconditionally; the
+// message reaches the HLR unless the injected signalling loss drops it.
+// Stale sequence numbers are discarded on delivery.
+func (n *network) sendUpdate(t *terminal) {
+	u := t.makeUpdate()
+	n.scratch = u.Encode(n.scratch[:0])
+	n.metrics.Updates++
+	n.term(u.Terminal).Updates++
+	n.metrics.UpdateBytes += int64(len(n.scratch))
+	if n.cfg.UpdateLossProb > 0 && t.rng.Bernoulli(n.cfg.UpdateLossProb) {
+		n.metrics.LostUpdates++
+		return
+	}
+	dec, err := wire.DecodeUpdate(n.scratch)
+	if err != nil {
+		panic(fmt.Sprintf("sim: self-encoded update failed to decode: %v", err))
+	}
+	rec, ok := n.hlr[dec.Terminal]
+	if ok && dec.Seq <= rec.seq {
+		return // stale or duplicate
+	}
+	n.hlr[dec.Terminal] = hlrRecord{
+		center:    dec.Cell,
+		seq:       dec.Seq,
+		threshold: int(dec.Threshold),
+	}
+}
+
+// register stores a terminal's initial location without charging it as a
+// mechanism update (it models subscription-time provisioning).
+func (n *network) register(u wire.Update) {
+	n.hlr[u.Terminal] = hlrRecord{center: u.Cell, seq: u.Seq, threshold: int(u.Threshold)}
+}
+
+// page handles an incoming call for terminal t: poll the residing area
+// subarea by subarea, one polling cycle each, until the terminal replies.
+// Cycle j's polls go out at tick 2j−1 of the exchange and its reply (or
+// timeout) resolves at tick 2j, all within the arrival slot.
+func (n *network) page(t *terminal) {
+	rec, ok := n.hlr[t.id]
+	if !ok {
+		panic(fmt.Sprintf("sim: paging unregistered terminal %d", t.id))
+	}
+	n.callSeq++
+	call := n.callSeq
+	info := n.partitionFor(rec.threshold)
+	ring := n.loc.dist(t.pos, rec.center)
+	n.metrics.Calls++
+	n.term(t.id).Calls++
+
+	// Without update loss the residing-area invariant holds: the terminal
+	// is never farther than the registered threshold from the registered
+	// center. A lost update breaks it; the nominal plan then polls empty
+	// and an expanding ring search takes over.
+	if ring >= len(info.ringSubarea) {
+		n.fallbackPage(t, rec, ring, info)
+		return
+	}
+	target := info.ringSubarea[ring]
+
+	var cycle func(j int)
+	cycle = func(j int) {
+		if j >= len(info.part) {
+			// Exhausted all subareas without a reply: mechanism bug.
+			n.metrics.NotFound++
+			return
+		}
+		sub := info.part[j]
+		// Broadcast one poll per cell of the subarea. The polls differ
+		// only in their target cell; encode one representative message
+		// and account bytes for the full broadcast.
+		cyc := uint8(j + 1)
+		if j+1 > 255 {
+			cyc = 255
+		}
+		poll := wire.Poll{Terminal: t.id, Cell: rec.center, Call: call, Cycle: cyc}
+		n.scratch = poll.Encode(n.scratch[:0])
+		n.metrics.PolledCells += int64(sub.Cells)
+		n.term(t.id).PolledCells += int64(sub.Cells)
+		n.metrics.PollBytes += int64(sub.Cells * len(n.scratch))
+		if j == target {
+			// The terminal hears the poll in its cell and replies one
+			// tick later; the HLR re-centers on the replied cell.
+			n.sched.After(1, func() {
+				reply := wire.Reply{Terminal: t.id, Cell: t.pos, Call: call}
+				n.scratch = reply.Encode(n.scratch[:0])
+				n.metrics.ReplyBytes += int64(len(n.scratch))
+				dec, err := wire.DecodeReply(n.scratch)
+				if err != nil {
+					panic(fmt.Sprintf("sim: self-encoded reply failed to decode: %v", err))
+				}
+				r := n.hlr[t.id]
+				r.center = dec.Cell
+				n.hlr[t.id] = r
+				// The terminal heard its own poll and answered: both
+				// sides re-center, restoring the invariant even after
+				// lost updates.
+				t.center = t.pos
+				n.metrics.Delay.Add(float64(j + 1))
+			})
+			return
+		}
+		// Timeout after one polling cycle, then poll the next subarea.
+		n.sched.After(2, func() { cycle(j + 1) })
+	}
+	n.sched.After(1, func() { cycle(0) })
+}
+
+// fallbackPage resolves a call whose nominal residing-area plan cannot
+// contain the terminal (its true ring distance exceeds the registered
+// threshold after a lost update): the network polls the entire nominal
+// plan, then expands ring by ring beyond it until the terminal answers.
+// The search always terminates — the terminal's displacement is finite —
+// and both sides re-center afterwards. Cells and cycles are accounted in
+// one event (the expanding search is bounded by the drift since the last
+// successful sync, which stays tiny at realistic loss rates).
+func (n *network) fallbackPage(t *terminal, rec hlrRecord, ring int, info partInfo) {
+	n.metrics.FallbackCalls++
+	kind := n.cfg.Core.Model.Grid()
+	cells := 0
+	for _, sub := range info.part {
+		cells += sub.Cells
+	}
+	for r := rec.threshold + 1; r <= ring; r++ {
+		cells += kind.RingSize(r)
+	}
+	cycles := len(info.part) + (ring - rec.threshold)
+	n.sched.After(1, func() {
+		n.metrics.PolledCells += int64(cells)
+		n.term(t.id).PolledCells += int64(cells)
+		n.metrics.PollBytes += int64(cells * wire.PollSize)
+		n.metrics.ReplyBytes += wire.ReplySize
+		n.metrics.Delay.Add(float64(cycles))
+		r := n.hlr[t.id]
+		r.center = t.pos
+		n.hlr[t.id] = r
+		t.center = t.pos
+	})
+}
+
+// reoptimize recomputes terminal t's threshold from its online estimates
+// using the near-optimal pipeline (with the paper's 0→1 correction) and, if
+// it changed, sends a location update carrying the new threshold so the
+// HLR's paging plan stays consistent.
+func (n *network) reoptimize(t *terminal) {
+	est := t.est.params()
+	if est.Q == 0 && est.C == 0 {
+		return // no signal yet
+	}
+	cfg := n.cfg.Core
+	cfg.Params = est
+	res, err := core.NearOptimal(cfg, n.cfg.MaxThreshold, true)
+	if err != nil {
+		return // keep the current threshold on estimation pathologies
+	}
+	d := res.Best.Threshold
+	if d == t.threshold {
+		return
+	}
+	t.threshold = d
+	// Re-register at the current position: the new residing area must be
+	// centered somewhere the network knows.
+	t.center = t.pos
+	n.sendUpdate(t)
+}

@@ -1,0 +1,364 @@
+// Package sim is a discrete-event simulator of a small personal
+// communication network running the paper's location-management mechanism
+// end to end: mobile terminals random-walk over the cell grid and send
+// binary location-update messages when they cross their threshold distance;
+// the fixed network keeps an HLR of (center cell, threshold) records and,
+// on each incoming call, pages the residing area subarea by subarea with
+// per-cell poll messages and waits one polling cycle per subarea for a
+// reply.
+//
+// The paper evaluates this mechanism purely analytically; this package is
+// the system the analysis describes. Its per-slot signalling costs converge
+// to the analytical C_T (asserted in tests), and it additionally measures
+// what the analysis cannot: wire bytes, per-call delay distributions, and
+// the behaviour of the dynamic per-user scheme the paper's conclusions
+// propose, in which each terminal estimates its own movement and call
+// probabilities online (EWMA) and periodically re-optimizes its threshold
+// with the cheap near-optimal closed form.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/grid"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// SlotTicks is the number of scheduler ticks per time slot. Polling cycles
+// occupy ticks inside the slot of the call's arrival, so the whole paging
+// exchange completes before the next movement opportunity — matching the
+// analytical model's assumption that paging is instantaneous relative to
+// mobility.
+const SlotTicks = 2048
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Core carries the mobility model, default per-terminal parameters,
+	// unit costs, the paging delay bound and the partitioning scheme.
+	Core core.Config
+	// Terminals is the population size; 0 means 1.
+	Terminals int
+	// Threshold is the static update threshold every terminal starts
+	// with. Negative means "network-optimized": the optimal threshold for
+	// Core's average parameters is computed once with core.Scan — the
+	// static network-wide scheme of the paper's conclusions.
+	Threshold int
+	// Dynamic enables the per-user dynamic scheme: each terminal
+	// estimates its q and c online and re-optimizes its threshold every
+	// ReoptimizeEvery slots using the near-optimal pipeline.
+	Dynamic bool
+	// EWMAAlpha is the estimator's smoothing constant; 0 means 0.005.
+	EWMAAlpha float64
+	// ReoptimizeEvery is the dynamic re-optimization period in slots;
+	// 0 means 2000.
+	ReoptimizeEvery int64
+	// MaxThreshold clamps optimized thresholds; 0 means 50 (the paper:
+	// "the optimal distance rarely exceeds 50").
+	MaxThreshold int
+	// PerTerminal, when non-nil, supplies heterogeneous parameters for
+	// terminal i, overriding Core.Params (used by the dynamic scheme
+	// examples: the network cannot know individual behaviour a priori).
+	PerTerminal func(i int) chain.Params
+	// UpdateLossProb injects signalling failures: each location-update
+	// message is lost in transit with this probability. The terminal
+	// (unaware — updates are unacknowledged datagrams) re-centers its own
+	// residing area anyway, so the HLR's view drifts until the next
+	// successful update or page. Paging that misses the nominal residing
+	// area falls back to an expanding ring search, which always succeeds
+	// but costs extra cells and cycles — quantifying the mechanism's
+	// sensitivity to update loss, something the paper's analysis cannot.
+	UpdateLossProb float64
+	// Seed seeds the simulation's deterministic RNG tree.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Terminals <= 0 {
+		c.Terminals = 1
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = 0.005
+	}
+	if c.ReoptimizeEvery == 0 {
+		c.ReoptimizeEvery = 2000
+	}
+	if c.MaxThreshold == 0 {
+		c.MaxThreshold = 50
+	}
+	return c
+}
+
+// Metrics aggregates a run's measurements.
+type Metrics struct {
+	// Slots and Terminals echo the run shape.
+	Slots     int64
+	Terminals int
+	// Updates, Calls and PolledCells count mechanism operations.
+	Updates, Calls, PolledCells int64
+	// UpdateBytes, PollBytes and ReplyBytes count signalling bytes on the
+	// wire per message class.
+	UpdateBytes, PollBytes, ReplyBytes int64
+	// Delay is the per-call paging delay in polling cycles.
+	Delay stats.Accumulator
+	// UpdateCost, PagingCost and TotalCost are per-slot per-terminal
+	// averages in the paper's U/V units, comparable to core.Breakdown.
+	UpdateCost, PagingCost, TotalCost float64
+	// NotFound counts paging failures. The distance-update invariant
+	// guarantees the terminal is inside its residing area, so any nonzero
+	// value indicates a mechanism bug (lossy-update misses are counted as
+	// FallbackCalls instead and always recover).
+	NotFound int64
+	// LostUpdates counts update messages dropped by the injected
+	// signalling loss (Config.UpdateLossProb).
+	LostUpdates int64
+	// FallbackCalls counts calls whose nominal residing-area plan missed
+	// (possible only under update loss) and were resolved by the
+	// expanding-ring fallback search.
+	FallbackCalls int64
+	// ThresholdSlots[d] counts terminal-slots spent operating at
+	// threshold d (interesting under Dynamic).
+	ThresholdSlots map[int]int64
+	// Events is the number of scheduler events dispatched.
+	Events uint64
+	// PerTerminal holds per-terminal breakdowns, indexed by terminal id.
+	PerTerminal []TerminalStats
+}
+
+// TerminalStats is one terminal's share of the run.
+type TerminalStats struct {
+	// Updates, Calls and PolledCells count this terminal's operations.
+	Updates, Calls, PolledCells int64
+	// TotalCost is the terminal's per-slot average cost in U/V units.
+	TotalCost float64
+	// FinalThreshold is the threshold in effect when the run ended.
+	FinalThreshold int
+}
+
+// locator abstracts cell geometry over the two grids using wire.Cell as a
+// universal coordinate (line cells encode as (index, 0)).
+type locator interface {
+	dist(a, b wire.Cell) int
+	move(c wire.Cell, rng *stats.RNG) wire.Cell
+}
+
+type hexLocator struct{}
+
+func (hexLocator) dist(a, b wire.Cell) int {
+	return grid.Hex{Q: int(a.Q), R: int(a.R)}.Dist(grid.Hex{Q: int(b.Q), R: int(b.R)})
+}
+
+func (hexLocator) move(c wire.Cell, rng *stats.RNG) wire.Cell {
+	n := grid.Hex{Q: int(c.Q), R: int(c.R)}.Neighbor(rng.Intn(6))
+	return wire.Cell{Q: int32(n.Q), R: int32(n.R)}
+}
+
+type lineLocator struct{}
+
+func (lineLocator) dist(a, b wire.Cell) int {
+	return grid.Line(a.Q).Dist(grid.Line(b.Q))
+}
+
+func (lineLocator) move(c wire.Cell, rng *stats.RNG) wire.Cell {
+	n := grid.Line(c.Q).Neighbor(rng.Intn(2))
+	return wire.Cell{Q: int32(n)}
+}
+
+// hlrRecord is the network's view of one terminal.
+type hlrRecord struct {
+	center    wire.Cell
+	seq       uint32
+	threshold int
+}
+
+// estimator tracks EWMA estimates of a terminal's per-slot movement and
+// call probabilities.
+type estimator struct {
+	alpha float64
+	q, c  float64
+}
+
+func (e *estimator) observe(moved, called bool) {
+	mv, cl := 0.0, 0.0
+	if moved {
+		mv = 1
+	}
+	if called {
+		cl = 1
+	}
+	e.q += e.alpha * (mv - e.q)
+	e.c += e.alpha * (cl - e.c)
+}
+
+// params returns the current estimates clamped to a valid chain.Params.
+func (e *estimator) params() chain.Params {
+	q, c := e.q, e.c
+	if q < 0 {
+		q = 0
+	}
+	if c < 0 {
+		c = 0
+	}
+	if q+c > 1 {
+		s := q + c
+		q, c = q/s, c/s
+	}
+	return chain.Params{Q: q, C: c}
+}
+
+type terminal struct {
+	id     uint32
+	pos    wire.Cell
+	params chain.Params
+	rng    *stats.RNG
+	est    estimator
+	// center is the terminal's own view of its center cell. It matches
+	// the HLR record exactly unless an update message was lost in
+	// transit (Config.UpdateLossProb).
+	center wire.Cell
+	// threshold is the terminal's own view of d; the HLR learns it from
+	// update messages.
+	threshold int
+	seq       uint32
+	moveProb  float64 // q/(1−c), cached
+}
+
+// Run simulates the network for the given number of slots.
+func Run(cfg Config, slots int64) (*Metrics, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if slots <= 0 {
+		return nil, errors.New("sim: slots must be positive")
+	}
+	if cfg.UpdateLossProb < 0 || cfg.UpdateLossProb >= 1 {
+		return nil, fmt.Errorf("sim: update loss probability %v outside [0,1)", cfg.UpdateLossProb)
+	}
+	if cfg.Threshold > cfg.MaxThreshold {
+		return nil, fmt.Errorf("sim: threshold %d exceeds MaxThreshold %d", cfg.Threshold, cfg.MaxThreshold)
+	}
+	if 2*(cfg.MaxThreshold+2) >= SlotTicks {
+		return nil, fmt.Errorf("sim: MaxThreshold %d needs more polling ticks than a slot holds (%d)", cfg.MaxThreshold, SlotTicks)
+	}
+
+	var loc locator = hexLocator{}
+	if cfg.Core.Model == chain.OneDim {
+		loc = lineLocator{}
+	}
+
+	startD := cfg.Threshold
+	if startD < 0 {
+		res, err := core.Scan(cfg.Core, cfg.MaxThreshold)
+		if err != nil {
+			return nil, err
+		}
+		startD = res.Best.Threshold
+	}
+
+	n := &network{
+		cfg: cfg,
+		loc: loc,
+		hlr: make(map[uint32]hlrRecord, cfg.Terminals),
+		metrics: &Metrics{
+			Terminals:      cfg.Terminals,
+			ThresholdSlots: make(map[int]int64),
+			PerTerminal:    make([]TerminalStats, cfg.Terminals),
+		},
+		parts: make(map[int]partInfo),
+	}
+
+	root := stats.NewRNG(cfg.Seed)
+	terms := make([]*terminal, cfg.Terminals)
+	for i := range terms {
+		p := cfg.Core.Params
+		if cfg.PerTerminal != nil {
+			p = cfg.PerTerminal(i)
+			if err := p.Validate(); err != nil {
+				return nil, fmt.Errorf("sim: terminal %d: %w", i, err)
+			}
+		}
+		t := &terminal{
+			id:        uint32(i),
+			params:    p,
+			rng:       root.Split(),
+			est:       estimator{alpha: cfg.EWMAAlpha},
+			threshold: startD,
+		}
+		if p.Q > 0 {
+			t.moveProb = p.Q / (1 - p.C)
+		}
+		terms[i] = t
+		// Initial registration (subscription-time provisioning, not a
+		// mechanism update).
+		n.register(t.makeUpdate())
+	}
+
+	var sched des.Scheduler
+	n.sched = &sched
+
+	// One event per slot sweeps all terminals: movement/update and call
+	// arrivals; paging cycles run as sub-slot events.
+	var slot func()
+	cur := int64(0)
+	slot = func() {
+		for _, t := range terms {
+			n.metrics.ThresholdSlots[t.threshold]++
+			called := t.rng.Bernoulli(t.params.C)
+			moved := false
+			if called {
+				n.page(t)
+			} else if t.rng.Bernoulli(t.moveProb) {
+				moved = true
+				t.pos = loc.move(t.pos, t.rng)
+				if loc.dist(t.pos, t.center) > t.threshold {
+					t.center = t.pos
+					n.sendUpdate(t)
+				}
+			}
+			if cfg.Dynamic {
+				t.est.observe(moved, called)
+			}
+		}
+		if cfg.Dynamic && cur > 0 && cur%cfg.ReoptimizeEvery == 0 {
+			for _, t := range terms {
+				n.reoptimize(t)
+			}
+		}
+		cur++
+		if cur < slots {
+			sched.After(SlotTicks, slot)
+		}
+	}
+	sched.At(0, slot)
+	sched.Drain()
+
+	m := n.metrics
+	m.Slots = slots
+	m.Events = sched.Processed()
+	denom := float64(slots) * float64(cfg.Terminals)
+	m.UpdateCost = float64(m.Updates) * cfg.Core.Costs.Update / denom
+	m.PagingCost = float64(m.PolledCells) * cfg.Core.Costs.Poll / denom
+	m.TotalCost = m.UpdateCost + m.PagingCost
+	for i := range m.PerTerminal {
+		ts := &m.PerTerminal[i]
+		ts.TotalCost = (float64(ts.Updates)*cfg.Core.Costs.Update +
+			float64(ts.PolledCells)*cfg.Core.Costs.Poll) / float64(slots)
+		ts.FinalThreshold = terms[i].threshold
+	}
+	return m, nil
+}
+
+func (t *terminal) makeUpdate() wire.Update {
+	t.seq++
+	return wire.Update{
+		Terminal:  t.id,
+		Cell:      t.pos,
+		Seq:       t.seq,
+		Threshold: uint16(t.threshold),
+	}
+}

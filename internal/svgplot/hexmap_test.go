@@ -1,0 +1,58 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestHexMapWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	// d=4, m=2: rings 0-1 in cycle 1, rings 2-4 in cycle 2.
+	if err := HexMap(&buf, "residing area d=4, m=2", 4, []int{0, 0, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+	out := buf.String()
+	// One polygon per cell of the disk.
+	if got, want := strings.Count(out, "<polygon"), grid.TwoDimHex.DiskSize(4); got != want {
+		t.Errorf("%d polygons, want %d", got, want)
+	}
+	if !strings.Contains(out, "cycle 1") || !strings.Contains(out, "cycle 2") {
+		t.Error("legend incomplete")
+	}
+}
+
+func TestHexMapSingleCell(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HexMap(&buf, "d=0", 0, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "<polygon"); got != 1 {
+		t.Errorf("%d polygons", got)
+	}
+}
+
+func TestHexMapErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HexMap(&buf, "x", -1, nil); err == nil {
+		t.Error("negative d accepted")
+	}
+	if err := HexMap(&buf, "x", 2, []int{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := HexMap(&buf, "x", 1, []int{0, -1}); err == nil {
+		t.Error("negative group accepted")
+	}
+}

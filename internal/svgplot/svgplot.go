@@ -1,0 +1,185 @@
+// Package svgplot renders simple line charts as standalone SVG documents,
+// used by cmd/paperfigs to emit graphical versions of the paper's figures
+// (cost curves over log-scaled probability axes). It deliberately supports
+// only what those figures need: multiple named series, optional log-10
+// x-axis, automatic ticks, and a legend.
+package svgplot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot is a line chart under construction. The zero value plus a title is
+// usable; add series with Line and render with WriteSVG.
+type Plot struct {
+	// Title, XLabel and YLabel annotate the chart.
+	Title, XLabel, YLabel string
+	// LogX plots the x-axis on a log-10 scale (all x must be positive).
+	LogX bool
+	// Width and Height are the pixel dimensions; 0 selects 720×480.
+	Width, Height int
+
+	series []series
+}
+
+type series struct {
+	name string
+	xs   []float64
+	ys   []float64
+}
+
+// palette holds distinguishable line colors, cycled by series order.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Line adds a named series. xs and ys must have equal nonzero length.
+func (p *Plot) Line(name string, xs, ys []float64) error {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return fmt.Errorf("svgplot: series %q has %d x and %d y points", name, len(xs), len(ys))
+	}
+	for i, x := range xs {
+		if p.LogX && x <= 0 {
+			return fmt.Errorf("svgplot: series %q has non-positive x=%v on a log axis", name, x)
+		}
+		if math.IsNaN(x) || math.IsNaN(ys[i]) || math.IsInf(x, 0) || math.IsInf(ys[i], 0) {
+			return fmt.Errorf("svgplot: series %q has a non-finite point", name)
+		}
+	}
+	cx := make([]float64, len(xs))
+	cy := make([]float64, len(ys))
+	copy(cx, xs)
+	copy(cy, ys)
+	p.series = append(p.series, series{name: name, xs: cx, ys: cy})
+	return nil
+}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 140.0
+	marginTop    = 40.0
+	marginBottom = 52.0
+)
+
+// WriteSVG renders the chart.
+func (p *Plot) WriteSVG(w io.Writer) error {
+	if len(p.series) == 0 {
+		return errors.New("svgplot: no series")
+	}
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1) // cost axes start at 0, like the paper's
+	for _, s := range p.series {
+		for i := range s.xs {
+			x := s.xs[i]
+			if p.LogX {
+				x = math.Log10(x)
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymax = math.Max(ymax, s.ys[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	ymax *= 1.05 // headroom
+
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	px := func(x float64) float64 {
+		if p.LogX {
+			x = math.Log10(x)
+		}
+		return marginLeft + (x-xmin)/(xmax-xmin)*plotW
+	}
+	py := func(y float64) float64 {
+		return marginTop + (1-(y-ymin)/(ymax-ymin))*plotH
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&sb, `<text x="%g" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, escape(p.Title))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+
+	// Y ticks: five divisions.
+	for i := 0; i <= 5; i++ {
+		y := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc" stroke-dasharray="3,3"/>`+"\n",
+			marginLeft, py(y), marginLeft+plotW, py(y))
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.3g</text>`+"\n",
+			marginLeft-6, py(y)+4, y)
+	}
+	// X ticks: decades when log, six divisions otherwise.
+	if p.LogX {
+		for e := math.Floor(xmin); e <= math.Ceil(xmax); e++ {
+			x := math.Pow(10, e)
+			if math.Log10(x) < xmin-1e-9 || math.Log10(x) > xmax+1e-9 {
+				continue
+			}
+			fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc" stroke-dasharray="3,3"/>`+"\n",
+				px(x), marginTop, px(x), marginTop+plotH)
+			fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%g</text>`+"\n",
+				px(x), marginTop+plotH+16, x)
+		}
+	} else {
+		for i := 0; i <= 6; i++ {
+			lx := xmin + (xmax-xmin)*float64(i)/6
+			fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%.3g</text>`+"\n",
+				marginLeft+plotW*float64(i)/6, marginTop+plotH+16, lx)
+		}
+	}
+	fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, float64(height)-10, escape(p.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(p.YLabel))
+
+	// Series.
+	for i, s := range p.series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.xs {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.xs[j]), py(s.ys[j])))
+		}
+		fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		for j := range s.xs {
+			fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="2.5" fill="%s"/>`+"\n",
+				px(s.xs[j]), py(s.ys[j]), color)
+		}
+		// Legend entry.
+		ly := marginTop + 18*float64(i)
+		lx := marginLeft + plotW + 14
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+28, ly+4, escape(s.name))
+	}
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,147 @@
+package svgplot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func validPlot(t *testing.T) *Plot {
+	t.Helper()
+	p := &Plot{Title: "Cost vs q", XLabel: "q", YLabel: "C_T", LogX: true}
+	if err := p.Line("m=1", []float64{0.001, 0.01, 0.1}, []float64{0.1, 0.2, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Line("m=2", []float64{0.001, 0.01, 0.1}, []float64{0.05, 0.1, 0.15}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := validPlot(t).WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be well-formed XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v\n%s", err, buf.String())
+		}
+	}
+	out := buf.String()
+	if c := strings.Count(out, "<polyline"); c != 2 {
+		t.Errorf("%d polylines, want 2", c)
+	}
+	for _, want := range []string{"Cost vs q", "m=1", "m=2", "<svg", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLogTicksAreDecades(t *testing.T) {
+	var buf bytes.Buffer
+	if err := validPlot(t).WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, tick := range []string{">0.001<", ">0.01<", ">0.1<"} {
+		if !strings.Contains(out, tick) {
+			t.Errorf("missing decade tick %s", tick)
+		}
+	}
+}
+
+func TestLinearAxis(t *testing.T) {
+	p := &Plot{Title: "linear"}
+	if err := p.Line("a", []float64{0, 1, 2}, []float64{1, 4, 9}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<polyline") {
+		t.Error("no polyline")
+	}
+}
+
+func TestLineValidation(t *testing.T) {
+	p := &Plot{LogX: true}
+	if err := p.Line("bad", nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if err := p.Line("bad", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := p.Line("bad", []float64{0}, []float64{1}); err == nil {
+		t.Error("x=0 on log axis accepted")
+	}
+	if err := p.Line("bad", []float64{1}, []float64{math.NaN()}); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := p.WriteSVG(&bytes.Buffer{}); err == nil {
+		t.Error("empty plot rendered")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	p := &Plot{Title: `a<b & "c"`}
+	if err := p.Line("s<1>", []float64{1, 2}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `a<b`) || strings.Contains(out, "s<1>") {
+		t.Error("unescaped markup in output")
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed: %v", err)
+		}
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	// Single x value and constant y must not divide by zero.
+	p := &Plot{}
+	if err := p.Line("flat", []float64{5}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("NaN coordinates in output")
+	}
+}
+
+func TestCustomSize(t *testing.T) {
+	p := &Plot{Width: 300, Height: 200}
+	if err := p.Line("a", []float64{1, 2}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="300" height="200"`) {
+		t.Error("custom size ignored")
+	}
+}

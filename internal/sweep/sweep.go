@@ -1,0 +1,60 @@
+// Package sweep runs embarrassingly parallel experiment grids across a
+// bounded pool of goroutines while preserving result order and
+// determinism: element i of the result always comes from fn(i), whatever
+// the execution interleaving. It is the engine behind the parameter sweeps
+// of the benchmark harness and the parallel Monte-Carlo runners.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map evaluates fn(0..n−1) using at most workers concurrent goroutines
+// (workers ≤ 0 selects GOMAXPROCS) and returns the results in index order.
+// If any call fails, Map returns the error with the lowest index; all
+// in-flight calls still complete (fn is never abandoned mid-run).
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative task count %d", n)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil task function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, nil
+	}
+
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	got, err := Map(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(i int) (string, error) { return fmt.Sprintf("r%d", i), nil }
+	one, err := Map(37, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16, 100} {
+		many, err := Map(37, workers, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range one {
+			if one[i] != many[i] {
+				t.Fatalf("workers=%d: out[%d] = %q vs %q", workers, i, many[i], one[i])
+			}
+		}
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	e3 := errors.New("three")
+	e7 := errors.New("seven")
+	_, err := Map(10, 4, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, e7
+		case 3:
+			return 0, e3
+		}
+		return i, nil
+	})
+	if !errors.Is(err, e3) {
+		t.Errorf("got %v, want lowest-index error", err)
+	}
+}
+
+func TestMapAllTasksRunDespiteError(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(50, 4, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if ran.Load() != 50 {
+		t.Errorf("%d tasks ran, want 50", ran.Load())
+	}
+}
+
+func TestMapEdgeCases(t *testing.T) {
+	if _, err := Map(-1, 1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := Map[int](5, 1, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+	out, err := Map(0, 4, func(int) (int, error) { return 1, nil })
+	if err != nil || len(out) != 0 {
+		t.Errorf("n=0: %v, %v", out, err)
+	}
+	// workers > n and workers <= 0 both work.
+	if _, err := Map(3, 100, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Error(err)
+	}
+	if _, err := Map(3, 0, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapActuallyParallel(t *testing.T) {
+	// With enough workers, at least two tasks overlap: detect via a
+	// barrier that only releases when two goroutines arrive.
+	gate := make(chan struct{})
+	arrived := make(chan struct{}, 2)
+	_, err := Map(2, 2, func(i int) (int, error) {
+		arrived <- struct{}{}
+		if i == 0 {
+			<-gate // waits for task 1 to release it
+		} else {
+			<-arrived
+			<-arrived
+			close(gate)
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package table renders fixed-width text tables and x/y series, used by the
+// benchmark harness and the command-line tools to print the paper's tables
+// and figure data in a diff-friendly plain-text form.
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows under a fixed header.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given column headers.
+func New(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are
+// rejected.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("table: row with %d cells in a %d-column table", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values; each value is rendered with
+// %v except floats, which use %.3f (the paper's precision).
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, 0, len(values))
+	for _, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells = append(cells, fmt.Sprintf("%.3f", x))
+		case float32:
+			cells = append(cells, fmt.Sprintf("%.3f", x))
+		default:
+			cells = append(cells, fmt.Sprintf("%v", x))
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// WriteTo renders the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var total int64
+	emit := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		n, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		total += int64(n)
+		return err
+	}
+	if err := emit(t.headers); err != nil {
+		return total, err
+	}
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := emit(rule); err != nil {
+		return total, err
+	}
+	for _, row := range t.rows {
+		if err := emit(row); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		// strings.Builder never errors; keep the method total anyway.
+		return err.Error()
+	}
+	return sb.String()
+}
+
+// Series renders one or more y-curves over a shared x-axis as a table —
+// the plain-text equivalent of the paper's figures. Curve order follows
+// names; each curves[name] must have len(xs) points.
+func Series(w io.Writer, xLabel string, xs []float64, names []string, curves map[string][]float64) error {
+	headers := append([]string{xLabel}, names...)
+	t := New(headers...)
+	for i, x := range xs {
+		cells := make([]string, 0, len(headers))
+		cells = append(cells, fmt.Sprintf("%g", x))
+		for _, n := range names {
+			c := curves[n]
+			if len(c) != len(xs) {
+				return fmt.Errorf("table: curve %q has %d points, want %d", n, len(c), len(xs))
+			}
+			cells = append(cells, fmt.Sprintf("%.4f", c[i]))
+		}
+		t.AddRow(cells...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

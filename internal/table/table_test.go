@@ -1,0 +1,96 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicRendering(t *testing.T) {
+	tb := New("U", "d*", "C_T")
+	tb.AddRow("100", "3", "0.897")
+	tb.AddRow("1000", "6", "1.563")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "U ") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("rule: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "1000") || !strings.Contains(lines[3], "1.563") {
+		t.Errorf("row: %q", lines[3])
+	}
+	// Columns align: "d*" column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "d*")
+	if strings.Index(lines[2], "3") != off && lines[2][off] != '3' {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tb := New("a", "b", "c")
+	tb.AddRowf(7, 0.123456, float32(2.0))
+	out := tb.String()
+	if !strings.Contains(out, "0.123") || strings.Contains(out, "0.1234") {
+		t.Errorf("float formatting: %s", out)
+	}
+	if !strings.Contains(out, "2.000") {
+		t.Errorf("float32 formatting: %s", out)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("x", "y")
+	tb.AddRow("1")
+	out := tb.String()
+	if !strings.Contains(out, "1") {
+		t.Errorf("row lost: %s", out)
+	}
+}
+
+func TestOverlongRowPanics(t *testing.T) {
+	tb := New("only")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tb.AddRow("a", "b")
+}
+
+func TestSeries(t *testing.T) {
+	var sb strings.Builder
+	xs := []float64{0.001, 0.01, 0.1}
+	curves := map[string][]float64{
+		"m=1": {1, 2, 3},
+		"m=2": {0.5, 1.5, 2.5},
+	}
+	if err := Series(&sb, "q", xs, []string{"m=1", "m=2"}, curves); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "q") || !strings.Contains(lines[0], "m=1") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "0.001") || !strings.Contains(lines[2], "1.0000") {
+		t.Errorf("first row: %q", lines[2])
+	}
+}
+
+func TestSeriesLengthMismatch(t *testing.T) {
+	var sb strings.Builder
+	err := Series(&sb, "x", []float64{1, 2}, []string{"a"}, map[string][]float64{"a": {1}})
+	if err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/grid"
+)
+
+// FuzzReadCSV checks the CSV parser never panics on arbitrary input and
+// that anything it accepts survives a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	tr, err := Generate(grid.TwoDimHex, chain.Params{Q: 0.2, C: 0.05}, 500, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("#trace,2d,100\nslot,kind,q,r\n1,move,1,0\n")
+	f.Add("#trace,1d,10\nslot,kind,q,r\n0,call,0,0\n")
+	f.Add("#trace,2d,-5\nslot,kind,q,r\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		in, err := ReadCSV(bytes.NewBufferString(s))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCSV(&out, in); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if len(again.Events) != len(in.Events) || again.Slots != in.Slots || again.Grid != in.Grid {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}
+
+// FuzzReadJSONL is the JSONL analogue.
+func FuzzReadJSONL(f *testing.F) {
+	tr, err := Generate(grid.OneDim, chain.Params{Q: 0.2, C: 0.05}, 300, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"grid":"2d","slots":10}`)
+	f.Add(`{"grid":"xyz","slots":10}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, s string) {
+		in, err := ReadJSONL(bytes.NewBufferString(s))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteJSONL(&out, in); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		if _, err := ReadJSONL(&out); err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+	})
+}

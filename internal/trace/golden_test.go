@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// Golden tests: the committed trace files and their replay results pin the
+// codec formats and the replay semantics. If either changes, recorded
+// experiments silently stop being reproducible — these tests make that a
+// loud failure instead.
+
+func TestGoldenCSVReplay(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Grid != grid.TwoDimHex || tr.Slots != 5000 || len(tr.Events) != 606 {
+		t.Fatalf("golden.csv header drifted: %v slots=%d events=%d", tr.Grid, tr.Slots, len(tr.Events))
+	}
+	res, err := Replay(tr, 2, 2, core.Costs{Update: 100, Poll: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 47 || res.Calls != 114 || res.PolledCells != 1518 {
+		t.Errorf("golden.csv replay drifted: updates=%d calls=%d cells=%d",
+			res.Updates, res.Calls, res.PolledCells)
+	}
+	if math.Abs(res.TotalCost-3.976) > 1e-12 {
+		t.Errorf("golden.csv total cost %v, want 3.976", res.TotalCost)
+	}
+}
+
+func TestGoldenJSONLReplay(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "golden.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Grid != grid.OneDim || tr.Slots != 5000 || len(tr.Events) != 1247 {
+		t.Fatalf("golden.jsonl header drifted: %v slots=%d events=%d", tr.Grid, tr.Slots, len(tr.Events))
+	}
+	res, err := Replay(tr, 3, 0, core.Costs{Update: 50, Poll: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 36 || res.Calls != 250 || res.PolledCells != 726 {
+		t.Errorf("golden.jsonl replay drifted: updates=%d calls=%d cells=%d",
+			res.Updates, res.Calls, res.PolledCells)
+	}
+	if math.Abs(res.TotalCost-1.086) > 1e-12 {
+		t.Errorf("golden.jsonl total cost %v, want 1.086", res.TotalCost)
+	}
+}
+
+// TestGoldenGeneratorStability pins the deterministic generator itself: the
+// same (params, slots, seed) must regenerate the committed traces exactly.
+func TestGoldenGeneratorStability(t *testing.T) {
+	tr, err := Generate(grid.TwoDimHex, paramsOf(0.1, 0.02), 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join("testdata", "golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != len(want.Events) {
+		t.Fatalf("regenerated %d events, golden has %d", len(tr.Events), len(want.Events))
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != want.Events[i] {
+			t.Fatalf("event %d drifted: %+v vs %+v", i, tr.Events[i], want.Events[i])
+		}
+	}
+}
+
+func paramsOf(q, c float64) chain.Params { return chain.Params{Q: q, C: c} }

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/paging"
+)
+
+func genValid(t *testing.T, kind grid.Kind, slots int64) *Trace {
+	t.Helper()
+	tr, err := Generate(kind, chain.Params{Q: 0.1, C: 0.02}, slots, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("generated trace invalid: %v", err)
+	}
+	return tr
+}
+
+func TestGenerateEventRates(t *testing.T) {
+	tr, err := Generate(grid.TwoDimHex, chain.Params{Q: 0.2, C: 0.05}, 500_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moves, calls int
+	for _, e := range tr.Events {
+		if e.Kind == Move {
+			moves++
+		} else {
+			calls++
+		}
+	}
+	if rate := float64(moves) / 500_000; math.Abs(rate-0.2) > 0.005 {
+		t.Errorf("move rate %v", rate)
+	}
+	if rate := float64(calls) / 500_000; math.Abs(rate-0.05) > 0.005 {
+		t.Errorf("call rate %v", rate)
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, kind := range []grid.Kind{grid.OneDim, grid.TwoDimHex} {
+		genValid(t, kind, 50_000)
+	}
+	if _, err := Generate(grid.OneDim, chain.Params{Q: 2}, 100, 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Generate(grid.OneDim, chain.Params{Q: 0.1}, 0, 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	for _, kind := range []grid.Kind{grid.OneDim, grid.TwoDimHex} {
+		in := genValid(t, kind, 20_000)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%v: CSV round trip mismatch (%d vs %d events)", kind, len(in.Events), len(out.Events))
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	for _, kind := range []grid.Kind{grid.OneDim, grid.TwoDimHex} {
+		in := genValid(t, kind, 20_000)
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, err := ReadJSONL(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%v: JSONL round trip mismatch", kind)
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"nonsense\n",
+		"#trace,3d,100\nslot,kind,q,r\n",
+		"#trace,2d,abc\nslot,kind,q,r\n",
+		"#trace,2d,100\nslot,kind,q,r\n1,teleport,0,0\n",
+		"#trace,2d,100\nslot,kind,q,r\n1,move,5,5\n", // non-adjacent move
+		"#trace,2d,100\nslot,kind,q,r\n1,move\n",
+		"#trace,2d,100\nslot,kind,q,r\nx,move,1,0\n",
+		"#trace,2d,100\nslot,kind,q,r\n1,move,y,0\n",
+		"#trace,2d,100\nslot,kind,q,r\n1,move,1,z\n",
+		"#trace,2d,5\nslot,kind,q,r\n9,move,1,0\n", // slot out of range
+	}
+	for i, s := range bad {
+		if _, err := ReadCSV(bytes.NewBufferString(s)); err == nil {
+			t.Errorf("case %d accepted: %q", i, s)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := &Trace{Grid: grid.TwoDimHex, Slots: 100, Events: []Event{
+		{Slot: 5, Kind: Move, Cell: grid.Hex{Q: 1}},
+		{Slot: 3, Kind: Move, Cell: grid.Hex{Q: 2}},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Error("out-of-order events accepted")
+	}
+	tr = &Trace{Grid: grid.TwoDimHex, Slots: 100, Events: []Event{
+		{Slot: 5, Kind: Call, Cell: grid.Hex{Q: 1}},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Error("call at wrong position accepted")
+	}
+	tr = &Trace{Grid: grid.OneDim, Slots: 100, Events: []Event{
+		{Slot: 5, Kind: Move, Cell: grid.Hex{Q: 0, R: 1}},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Error("off-line move accepted in 1-D trace")
+	}
+	tr = &Trace{Grid: grid.OneDim, Slots: 0}
+	if err := tr.Validate(); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
+
+func TestReplayMatchesAnalysis(t *testing.T) {
+	// A long generated trace replayed at (d, m) must realize costs close
+	// to the analytical C_T — this closes the loop generator → codec →
+	// replay → analysis.
+	params := chain.Params{Q: 0.05, C: 0.01}
+	costs := core.Costs{Update: 100, Poll: 10}
+	tr, err := Generate(grid.TwoDimHex, params, 3_000_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const d, m = 3, 2
+	got, err := Replay(tr, d, m, costs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ana := core.Config{Model: chain.TwoDimExact, Params: params, Costs: costs, MaxDelay: m}
+	want, err := ana.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got.TotalCost-want.Total) / want.Total; rel > 0.03 {
+		t.Errorf("replayed %v vs analytical %v", got.TotalCost, want.Total)
+	}
+}
+
+func TestReplaySurvivesCodecRoundTrip(t *testing.T) {
+	tr := genValid(t, grid.OneDim, 200_000)
+	costs := core.Costs{Update: 50, Poll: 5}
+	direct, err := Replay(tr, 2, 1, costs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(decoded, 2, 1, costs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != replayed {
+		t.Errorf("replay differs after codec round trip:\n%+v\n%+v", direct, replayed)
+	}
+}
+
+func TestReplayWithDPScheme(t *testing.T) {
+	tr := genValid(t, grid.TwoDimHex, 100_000)
+	costs := core.Costs{Update: 100, Poll: 10}
+	if _, err := Replay(tr, 4, 2, costs, paging.OptimalDP{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	tr := genValid(t, grid.OneDim, 1000)
+	costs := core.Costs{Update: 1, Poll: 1}
+	if _, err := Replay(tr, -1, 1, costs, nil); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := Replay(tr, 1, 1, core.Costs{Update: -1}, nil); err == nil {
+		t.Error("bad costs accepted")
+	}
+	broken := &Trace{Grid: grid.OneDim, Slots: 10, Events: []Event{{Slot: 99, Kind: Move}}}
+	if _, err := Replay(broken, 1, 1, costs, nil); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Move.String() != "move" || Call.String() != "call" || Kind(7).String() != "Kind(7)" {
+		t.Error("kind names wrong")
+	}
+}

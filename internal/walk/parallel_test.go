@@ -1,0 +1,78 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chain"
+)
+
+func TestRunParallelMatchesAnalysis(t *testing.T) {
+	c := cfg(chain.TwoDimExact, 0.05, 0.01, 100, 10, 2)
+	const d = 3
+	want, err := c.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunParallel(c, d, 4_000_000, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slots != 4_000_000 {
+		t.Fatalf("slots = %d", got.Slots)
+	}
+	if rel := math.Abs(got.TotalCost-want.Total) / want.Total; rel > 0.02 {
+		t.Errorf("parallel cost %v vs analytical %v", got.TotalCost, want.Total)
+	}
+	if math.Abs(got.Delay.Mean()-want.ExpectedDelay) > 0.03 {
+		t.Errorf("delay %v vs %v", got.Delay.Mean(), want.ExpectedDelay)
+	}
+	sum := 0.0
+	for _, v := range got.RingOccupancy {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("occupancy sums to %v", sum)
+	}
+}
+
+func TestRunParallelDeterministic(t *testing.T) {
+	c := cfg(chain.OneDim, 0.1, 0.02, 10, 1, 1)
+	a, err := RunParallel(c, 2, 200_000, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunParallel(c, 2, 200_000, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Updates != b.Updates || a.PolledCells != b.PolledCells || a.Calls != b.Calls {
+		t.Error("same (seed, workers) diverged")
+	}
+}
+
+func TestRunParallelUnevenSplit(t *testing.T) {
+	// slots not divisible by workers: the remainder must not be lost.
+	c := cfg(chain.OneDim, 0.1, 0.02, 10, 1, 1)
+	got, err := RunParallel(c, 2, 100_003, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slots != 100_003 {
+		t.Errorf("slots = %d", got.Slots)
+	}
+}
+
+func TestRunParallelErrors(t *testing.T) {
+	c := cfg(chain.OneDim, 0.1, 0.02, 10, 1, 1)
+	if _, err := RunParallel(c, 2, 1000, 1, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := RunParallel(c, 2, 3, 1, 8); err == nil {
+		t.Error("fewer slots than workers accepted")
+	}
+	bad := cfg(chain.OneDim, 2, 0, 1, 1, 1)
+	if _, err := RunParallel(bad, 2, 1000, 1, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package walk is a Monte-Carlo simulator of the paper's location-update
+// and paging mechanism on the *actual* cell grids (not on the distance
+// abstraction): a terminal performs the discrete-time random walk of
+// Section 2.1 over the 1-D line or the 2-D hexagonal plane, calls arrive
+// geometrically, paging polls subareas per the configured partition, and
+// threshold crossings trigger location updates.
+//
+// Because the walk moves between real cells, the 2-D results reflect the
+// exact ring-transition probabilities — including the within-ring cell
+// inhomogeneity the Markov chain averages over — making the package an
+// end-to-end statistical check of the analysis: long-run per-slot cost must
+// converge to core.Config.Evaluate's C_T for the TwoDimExact model, and the
+// measured delay to its ExpectedDelay.
+package walk
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/paging"
+	"repro/internal/stats"
+)
+
+// Result aggregates the measurements of one simulation run.
+type Result struct {
+	// Slots is the number of simulated time slots.
+	Slots int64
+	// Updates is the number of location updates performed.
+	Updates int64
+	// Calls is the number of incoming calls (each triggering one paging
+	// operation).
+	Calls int64
+	// PolledCells is the total number of cells polled across all calls.
+	PolledCells int64
+	// UpdateCost, PagingCost and TotalCost are per-slot averages, directly
+	// comparable with core.Breakdown's Update, Paging and Total.
+	UpdateCost, PagingCost, TotalCost float64
+	// Delay accumulates the per-call paging delay in polling cycles; its
+	// mean is comparable with core.Breakdown.ExpectedDelay.
+	Delay stats.Accumulator
+	// RingOccupancy[i] is the fraction of slots (boundaries) the terminal
+	// spent at ring distance i from its center cell — the empirical
+	// counterpart of the chain's stationary distribution.
+	RingOccupancy []float64
+}
+
+// Run simulates the mechanism of cfg at threshold d for the given number of
+// slots. cfg.Model selects the grid: OneDim walks the line, TwoDimExact and
+// TwoDimApprox both walk the hexagonal plane (the approximation exists only
+// in the analysis; the physical process is the same).
+//
+// Slot structure, mirroring the Markov chain: with probability c a call
+// arrives — the network pages the residing area subarea by subarea, pays
+// V per polled cell, and the center cell resets to the terminal's current
+// cell; otherwise, with probability q the terminal moves to a uniform
+// neighbor, and if its distance then exceeds d it performs a location
+// update (cost U) and the center resets.
+func Run(cfg core.Config, d int, slots int64, seed uint64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if d < 0 {
+		return Result{}, fmt.Errorf("walk: negative threshold %d", d)
+	}
+	if slots <= 0 {
+		return Result{}, errors.New("walk: slots must be positive")
+	}
+	kind := cfg.Model.Grid()
+	rings := kind.RingSizes(d)
+	// The partition is fixed per (d, m): precompute it and the cumulative
+	// poll counts once. Probability-aware schemes see the analytical
+	// stationary distribution, as the network would compute it.
+	var pi []float64
+	if _, needsPi := scheme(cfg).(paging.OptimalDP); needsPi {
+		var err error
+		pi, err = chain.Stationary(cfg.Model, cfg.Params, d)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	part := scheme(cfg).Partition(rings, pi, cfg.MaxDelay)
+	w := part.CumulativeCells()
+	// ringSubarea[i] is the (0-based) subarea index holding ring i.
+	ringSubarea := make([]int, d+1)
+	for j, s := range part {
+		for i := s.FirstRing; i <= s.LastRing; i++ {
+			ringSubarea[i] = j
+		}
+	}
+
+	rng := stats.NewRNG(seed)
+	res := Result{Slots: slots, RingOccupancy: make([]float64, d+1)}
+
+	if kind == grid.OneDim {
+		runLine(cfg, d, slots, rng, ringSubarea, w, &res)
+	} else {
+		runHex(cfg, d, slots, rng, ringSubarea, w, &res)
+	}
+
+	res.UpdateCost = float64(res.Updates) * cfg.Costs.Update / float64(slots)
+	res.PagingCost = float64(res.PolledCells) * cfg.Costs.Poll / float64(slots)
+	res.TotalCost = res.UpdateCost + res.PagingCost
+	for i := range res.RingOccupancy {
+		res.RingOccupancy[i] /= float64(slots)
+	}
+	return res, nil
+}
+
+func scheme(cfg core.Config) paging.Scheme {
+	if cfg.Scheme == nil {
+		return paging.SDF{}
+	}
+	return cfg.Scheme
+}
+
+func runLine(cfg core.Config, d int, slots int64, rng *stats.RNG,
+	ringSubarea []int, w []int, res *Result) {
+	pos := grid.Line(0)
+	center := grid.Line(0)
+	// Conditional probability: P(move | no call) = q/(1−c), so the
+	// unconditional per-slot move probability is exactly q.
+	moveProb := 0.0
+	if cfg.Params.Q > 0 {
+		moveProb = cfg.Params.Q / (1 - cfg.Params.C)
+	}
+	for t := int64(0); t < slots; t++ {
+		res.RingOccupancy[pos.Dist(center)]++
+		switch {
+		case rng.Bernoulli(cfg.Params.C):
+			j := ringSubarea[pos.Dist(center)]
+			res.Calls++
+			res.PolledCells += int64(w[j])
+			res.Delay.Add(float64(j + 1))
+			center = pos
+		case rng.Bernoulli(moveProb):
+			pos = pos.Neighbor(rng.Intn(2))
+			if pos.Dist(center) > d {
+				res.Updates++
+				center = pos
+			}
+		}
+	}
+}
+
+func runHex(cfg core.Config, d int, slots int64, rng *stats.RNG,
+	ringSubarea []int, w []int, res *Result) {
+	pos := grid.Hex{}
+	center := grid.Hex{}
+	moveProb := 0.0
+	if cfg.Params.Q > 0 {
+		moveProb = cfg.Params.Q / (1 - cfg.Params.C)
+	}
+	for t := int64(0); t < slots; t++ {
+		res.RingOccupancy[pos.Dist(center)]++
+		switch {
+		case rng.Bernoulli(cfg.Params.C):
+			j := ringSubarea[pos.Dist(center)]
+			res.Calls++
+			res.PolledCells += int64(w[j])
+			res.Delay.Add(float64(j + 1))
+			center = pos
+		case rng.Bernoulli(moveProb):
+			pos = pos.Neighbor(rng.Intn(6))
+			if pos.Dist(center) > d {
+				res.Updates++
+				center = pos
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package walk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/paging"
+)
+
+func cfg(model chain.Model, q, c, u, v float64, m int) core.Config {
+	return core.Config{
+		Model:    model,
+		Params:   chain.Params{Q: q, C: c},
+		Costs:    core.Costs{Update: u, Poll: v},
+		MaxDelay: m,
+	}
+}
+
+func TestRunMatchesAnalysis1D(t *testing.T) {
+	c := cfg(chain.OneDim, 0.05, 0.01, 100, 10, 2)
+	const d = 3
+	want, err := c.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(c, d, 4_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got.TotalCost-want.Total) / want.Total; rel > 0.02 {
+		t.Errorf("total cost: simulated %v vs analytical %v (rel %v)", got.TotalCost, want.Total, rel)
+	}
+	if rel := math.Abs(got.UpdateCost-want.Update) / want.Update; rel > 0.05 {
+		t.Errorf("update cost: simulated %v vs analytical %v", got.UpdateCost, want.Update)
+	}
+	if rel := math.Abs(got.PagingCost-want.Paging) / want.Paging; rel > 0.05 {
+		t.Errorf("paging cost: simulated %v vs analytical %v", got.PagingCost, want.Paging)
+	}
+	if math.Abs(got.Delay.Mean()-want.ExpectedDelay) > 0.03 {
+		t.Errorf("delay: simulated %v vs analytical %v", got.Delay.Mean(), want.ExpectedDelay)
+	}
+}
+
+func TestRunMatchesAnalysis2DExact(t *testing.T) {
+	// The hex walk exercises the true per-cell geometry; its long-run cost
+	// must match the exact 2-D chain, validating the ring-averaged
+	// transition probabilities (paper eqs. 39-42).
+	c := cfg(chain.TwoDimExact, 0.05, 0.01, 100, 10, 3)
+	const d = 4
+	want, err := c.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(c, d, 4_000_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got.TotalCost-want.Total) / want.Total; rel > 0.02 {
+		t.Errorf("total cost: simulated %v vs analytical %v (rel %v)", got.TotalCost, want.Total, rel)
+	}
+	if math.Abs(got.Delay.Mean()-want.ExpectedDelay) > 0.03 {
+		t.Errorf("delay: simulated %v vs analytical %v", got.Delay.Mean(), want.ExpectedDelay)
+	}
+}
+
+func TestRingOccupancyMatchesStationary(t *testing.T) {
+	// The 1-D ring process is exactly lumpable (both cells of a ring are
+	// symmetric), so occupancy must match the chain to within noise. In
+	// 2-D the ring process is NOT exactly lumpable — corner and edge cells
+	// of a hexagonal ring have different outward-neighbor counts, and the
+	// paper's chain uses the ring-averaged rates (eqs. 39-40) — so a small
+	// systematic deviation (≈1-2% relative) is expected and tolerated.
+	p := chain.Params{Q: 0.2, C: 0.05}
+	const d = 5
+	for _, tc := range []struct {
+		model chain.Model
+		tol   float64
+	}{
+		{chain.OneDim, 0.004},
+		{chain.TwoDimExact, 0.012},
+	} {
+		pi, err := chain.Stationary(tc.model, p, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(cfg(tc.model, p.Q, p.C, 50, 1, 1), d, 3_000_000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pi {
+			if diff := math.Abs(res.RingOccupancy[i] - pi[i]); diff > tc.tol {
+				t.Errorf("%v: ring %d occupancy %v vs stationary %v", tc.model, i, res.RingOccupancy[i], pi[i])
+			}
+		}
+	}
+}
+
+func TestRunDelayBoundNeverExceeded(t *testing.T) {
+	c := cfg(chain.TwoDimExact, 0.3, 0.1, 10, 1, 2)
+	res, err := Run(c, 7, 200_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Calls == 0 {
+		t.Fatal("no calls simulated")
+	}
+	// The paper's hard guarantee: the worst observed paging delay never
+	// exceeds m = 2 polling cycles.
+	if res.Delay.Max() > 2 {
+		t.Errorf("worst delay %v exceeds bound", res.Delay.Max())
+	}
+	if res.Delay.Min() < 1 {
+		t.Errorf("delay below one cycle: %v", res.Delay.Min())
+	}
+}
+
+func TestRunThresholdZero(t *testing.T) {
+	// d=0: every move is an update, every call polls exactly one cell.
+	c := cfg(chain.OneDim, 0.3, 0.2, 1, 1, 1)
+	res, err := Run(c, 0, 1_000_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(res.Updates) / float64(res.Slots); math.Abs(got-0.3) > 0.01 {
+		t.Errorf("update rate %v, want ≈ q", got)
+	}
+	if got := float64(res.PolledCells) / float64(res.Calls); got != 1 {
+		t.Errorf("cells per call = %v, want 1", got)
+	}
+}
+
+func TestRunNoMovement(t *testing.T) {
+	c := cfg(chain.TwoDimExact, 0, 0.5, 10, 1, 1)
+	res, err := Run(c, 2, 100_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 0 {
+		t.Errorf("stationary terminal performed %d updates", res.Updates)
+	}
+	if res.RingOccupancy[0] != 1 {
+		t.Errorf("ring-0 occupancy %v", res.RingOccupancy[0])
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	c := cfg(chain.TwoDimExact, 0.1, 0.05, 10, 1, 2)
+	a, err := Run(c, 3, 100_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, 3, 100_000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Updates != b.Updates || a.Calls != b.Calls || a.PolledCells != b.PolledCells {
+		t.Error("same seed produced different runs")
+	}
+	d, err := Run(c, 3, 100_000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Updates == d.Updates && a.PolledCells == d.PolledCells {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestRunWithOptimalDPScheme(t *testing.T) {
+	base := cfg(chain.TwoDimExact, 0.05, 0.01, 100, 10, 2)
+	dp := base
+	dp.Scheme = paging.OptimalDP{}
+	want, err := dp.Evaluate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(dp, 6, 2_000_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got.TotalCost-want.Total) / want.Total; rel > 0.03 {
+		t.Errorf("DP scheme: simulated %v vs analytical %v", got.TotalCost, want.Total)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	good := cfg(chain.OneDim, 0.1, 0.1, 1, 1, 1)
+	if _, err := Run(good, -1, 1000, 0); err == nil {
+		t.Error("negative d accepted")
+	}
+	if _, err := Run(good, 1, 0, 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	bad := cfg(chain.OneDim, 0.9, 0.9, 1, 1, 1)
+	if _, err := Run(bad, 1, 1000, 0); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

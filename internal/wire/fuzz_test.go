@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeUpdate checks that arbitrary bytes never panic the decoder and
+// that anything it accepts re-encodes to the same prefix.
+func FuzzDecodeUpdate(f *testing.F) {
+	f.Add(Update{Terminal: 1, Cell: Cell{2, -3}, Seq: 4, Threshold: 5}.Encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{byte(TypeUpdate)})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeUpdate(data)
+		if err != nil {
+			return
+		}
+		re := u.Encode(nil)
+		if !bytes.Equal(re, data[:UpdateSize]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:UpdateSize])
+		}
+	})
+}
+
+// FuzzDecodePoll is the poll-message analogue.
+func FuzzDecodePoll(f *testing.F) {
+	f.Add(Poll{Terminal: 9, Cell: Cell{-7, 1}, Call: 3, Cycle: 2}.Encode(nil))
+	f.Add([]byte{byte(TypePoll), 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePoll(data)
+		if err != nil {
+			return
+		}
+		re := p.Encode(nil)
+		if !bytes.Equal(re, data[:PollSize]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
+
+// FuzzDecodeReply is the reply-message analogue.
+func FuzzDecodeReply(f *testing.F) {
+	f.Add(Reply{Terminal: 8, Cell: Cell{0, 0}, Call: 12}.Encode(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeReply(data)
+		if err != nil {
+			return
+		}
+		re := r.Encode(nil)
+		if !bytes.Equal(re, data[:ReplySize]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}

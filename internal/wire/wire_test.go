@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdateRoundTrip(t *testing.T) {
+	f := func(term uint32, q, r int32, seq uint32, thr uint16) bool {
+		in := Update{Terminal: term, Cell: Cell{Q: q, R: r}, Seq: seq, Threshold: thr}
+		buf := in.Encode(nil)
+		if len(buf) != UpdateSize {
+			return false
+		}
+		out, err := DecodeUpdate(buf)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPollRoundTrip(t *testing.T) {
+	f := func(term uint32, q, r int32, call uint32, cycle uint8) bool {
+		in := Poll{Terminal: term, Cell: Cell{Q: q, R: r}, Call: call, Cycle: cycle}
+		buf := in.Encode(nil)
+		if len(buf) != PollSize {
+			return false
+		}
+		out, err := DecodePoll(buf)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	f := func(term uint32, q, r int32, call uint32) bool {
+		in := Reply{Terminal: term, Cell: Cell{Q: q, R: r}, Call: call}
+		buf := in.Encode(nil)
+		if len(buf) != ReplySize {
+			return false
+		}
+		out, err := DecodeReply(buf)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	prefix := []byte{0xAA, 0xBB}
+	buf := Update{Terminal: 1}.Encode(prefix)
+	if !bytes.HasPrefix(buf, prefix) {
+		t.Error("Encode did not append")
+	}
+	if len(buf) != 2+UpdateSize {
+		t.Errorf("len = %d", len(buf))
+	}
+	if _, err := DecodeUpdate(buf[2:]); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeShortBuffers(t *testing.T) {
+	u := Update{Terminal: 7, Cell: Cell{1, -2}, Seq: 3}.Encode(nil)
+	p := Poll{Terminal: 7}.Encode(nil)
+	r := Reply{Terminal: 7}.Encode(nil)
+	for i := 0; i < UpdateSize; i++ {
+		if _, err := DecodeUpdate(u[:i]); !errors.Is(err, ErrShort) {
+			t.Errorf("DecodeUpdate(%d bytes): %v", i, err)
+		}
+	}
+	for i := 0; i < PollSize; i++ {
+		if _, err := DecodePoll(p[:i]); !errors.Is(err, ErrShort) {
+			t.Errorf("DecodePoll(%d bytes): %v", i, err)
+		}
+	}
+	for i := 0; i < ReplySize; i++ {
+		if _, err := DecodeReply(r[:i]); !errors.Is(err, ErrShort) {
+			t.Errorf("DecodeReply(%d bytes): %v", i, err)
+		}
+	}
+}
+
+func TestDecodeTypeMismatch(t *testing.T) {
+	u := Update{Terminal: 9}.Encode(nil)
+	if _, err := DecodePoll(append(u, 0)); !errors.Is(err, ErrType) {
+		t.Errorf("poll from update bytes: %v", err)
+	}
+	p := Poll{Terminal: 9}.Encode(nil)
+	if _, err := DecodeUpdate(append(p, 0)); !errors.Is(err, ErrType) {
+		t.Errorf("update from poll bytes: %v", err)
+	}
+	if _, err := DecodeReply(p); !errors.Is(err, ErrType) {
+		t.Errorf("reply from poll bytes: %v", err)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	if _, err := Peek(nil); !errors.Is(err, ErrShort) {
+		t.Error("Peek(nil) should fail")
+	}
+	cases := []struct {
+		buf  []byte
+		want MsgType
+	}{
+		{Update{}.Encode(nil), TypeUpdate},
+		{Poll{}.Encode(nil), TypePoll},
+		{Reply{}.Encode(nil), TypeReply},
+	}
+	for _, tc := range cases {
+		got, err := Peek(tc.buf)
+		if err != nil || got != tc.want {
+			t.Errorf("Peek = %v, %v; want %v", got, err, tc.want)
+		}
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if TypeUpdate.String() != "update" || TypePoll.String() != "poll" || TypeReply.String() != "reply" {
+		t.Error("known type names wrong")
+	}
+	if MsgType(0xFF).String() != "MsgType(0xff)" {
+		t.Errorf("unknown type name: %s", MsgType(0xFF))
+	}
+}
+
+func TestNegativeCoordinatesSurvive(t *testing.T) {
+	in := Update{Terminal: 1, Cell: Cell{Q: -2147483648, R: 2147483647}, Seq: 0}
+	out, err := DecodeUpdate(in.Encode(nil))
+	if err != nil || out.Cell != in.Cell {
+		t.Errorf("extreme coords: %+v, %v", out, err)
+	}
+}

@@ -1,0 +1,127 @@
+package locman_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/locman"
+)
+
+// The paper's Table 2 entry U=100, m=3: optimal threshold 2, cost 1.335.
+func ExampleOptimize() {
+	cfg := locman.Config{
+		Model:      locman.TwoDimensional,
+		MoveProb:   0.05,
+		CallProb:   0.01,
+		UpdateCost: 100,
+		PollCost:   10,
+		MaxDelay:   3,
+	}
+	res, err := locman.Optimize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("d* = %d, C_T = %.3f\n", res.Best.Threshold, res.Best.Total)
+	// Output:
+	// d* = 2, C_T = 1.335
+}
+
+// Cost breakdown of one operating point.
+func ExampleEvaluate() {
+	cfg := locman.Config{
+		Model:      locman.TwoDimensional,
+		MoveProb:   0.05,
+		CallProb:   0.01,
+		UpdateCost: 100,
+		PollCost:   10,
+		MaxDelay:   1,
+	}
+	b, err := locman.Evaluate(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update %.3f + paging %.3f = %.3f\n", b.Update, b.Paging, b.Total)
+	// Output:
+	// update 1.339 + paging 0.700 = 2.039
+}
+
+// The stationary distribution of the terminal's distance from its center
+// cell (paper eqs. 56-57 for d=1).
+func ExampleStationary() {
+	pi, err := locman.Stationary(locman.TwoDimensional, 0.05, 0.01, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("p0 = %.4f, p1 = %.4f\n", pi[0], pi[1])
+	// Output:
+	// p0 = 0.4643, p1 = 0.5357
+}
+
+// The near-optimal closed-form pipeline with the paper's 0→1 correction.
+func ExampleNearOptimal() {
+	cfg := locman.Config{
+		Model:      locman.TwoDimensional,
+		MoveProb:   0.05,
+		CallProb:   0.01,
+		UpdateCost: 20,
+		PollCost:   10,
+		MaxDelay:   1,
+		// The paper's published d′ numbers used the legacy d=0 rate.
+		LegacyZeroRate: true,
+	}
+	uncorrected, err := locman.NearOptimal(cfg, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corrected, err := locman.NearOptimal(cfg, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uncorrected d' = %d costs %.3f\n", uncorrected.Best.Threshold, uncorrected.Best.Total)
+	fmt.Printf("corrected   d' = %d costs %.3f\n", corrected.Best.Threshold, corrected.Best.Total)
+	// Output:
+	// uncorrected d' = 0 costs 1.100
+	// corrected   d' = 1 costs 0.968
+}
+
+// How long paging takes, cycle by cycle.
+func ExampleDelayDistribution() {
+	cfg := locman.Config{
+		Model:      locman.TwoDimensional,
+		MoveProb:   0.05,
+		CallProb:   0.01,
+		UpdateCost: 100,
+		PollCost:   10,
+		MaxDelay:   3,
+	}
+	dist, err := locman.DelayDistribution(cfg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for j, p := range dist {
+		fmt.Printf("cycle %d: %.3f\n", j+1, p)
+	}
+	// Output:
+	// cycle 1: 0.314
+	// cycle 2: 0.435
+	// cycle 3: 0.251
+}
+
+// The classic location-area baseline admits a closed-form analysis; in
+// 1-D its optimum follows the square-root law L* ≈ √(qU/(cV)).
+func ExampleOptimalLocationArea() {
+	cfg := locman.Config{
+		Model:      locman.OneDimensional,
+		MoveProb:   0.05,
+		CallProb:   0.01,
+		UpdateCost: 100,
+		PollCost:   10,
+	}
+	size, analysis, err := locman.OptimalLocationArea(cfg, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("L* = %d cells, C_T = %.3f\n", size, analysis.TotalCost)
+	// Output:
+	// L* = 7 cells, C_T = 1.414
+}

@@ -1,0 +1,342 @@
+// Package locman is the public API of the library: mobile-terminal
+// location management by distance-based location update and
+// delay-constrained terminal paging, reproducing Akyildiz & Ho,
+// "A Mobile User Location Update and Paging Mechanism Under Delay
+// Constraints" (ACM SIGCOMM 1995).
+//
+// A terminal is described by its per-slot movement probability (MoveProb)
+// and call-arrival probability (CallProb) on a one-dimensional or
+// two-dimensional (hexagonal) cellular grid. Location updates cost
+// UpdateCost each; polling one cell costs PollCost. Given a maximum paging
+// delay of MaxDelay polling cycles, the library computes
+//
+//   - the stationary distribution of the terminal's distance from its last
+//     reported cell (Stationary),
+//   - the per-slot update, paging and total costs of operating at any
+//     threshold distance (Evaluate),
+//   - the optimal threshold d* (Optimize, OptimizeAnneal) and the paper's
+//     cheap near-optimal d′ (NearOptimal),
+//
+// and validates the analysis with two simulators: a Monte-Carlo random
+// walk on the real grids (SimulateWalk) and a discrete-event PCN system
+// with binary signalling messages and an HLR (SimulateNetwork). The
+// classic baseline schemes (static location areas, time-based and
+// movement-based updating) are available through SimulateBaseline.
+//
+// # Quick start
+//
+//	cfg := locman.Config{
+//		Model:      locman.TwoDimensional,
+//		MoveProb:   0.05,
+//		CallProb:   0.01,
+//		UpdateCost: 100,
+//		PollCost:   10,
+//		MaxDelay:   3,
+//	}
+//	res, err := locman.Optimize(cfg)
+//	// res.Best.Threshold is d*, res.Best.Total is C_T(d*, m).
+package locman
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/paging"
+	"repro/internal/sim"
+	"repro/internal/walk"
+)
+
+// Model selects the mobility model.
+type Model int
+
+const (
+	// OneDimensional is the 1-D line model (roads, tunnels, railways):
+	// each cell has two neighbors.
+	OneDimensional Model = iota
+	// TwoDimensional is the 2-D hexagonal model with the exact
+	// distance-dependent ring-transition probabilities.
+	TwoDimensional
+	// TwoDimensionalApprox is the 2-D model with the paper's
+	// distance-independent approximation, which admits closed forms; use
+	// it when optimization must be cheap (the paper's "near optimal"
+	// pipeline uses it internally).
+	TwoDimensionalApprox
+)
+
+// String names the model.
+func (m Model) String() string { return m.chain().String() }
+
+func (m Model) chain() chain.Model {
+	switch m {
+	case OneDimensional:
+		return chain.OneDim
+	case TwoDimensional:
+		return chain.TwoDimExact
+	case TwoDimensionalApprox:
+		return chain.TwoDimApprox
+	default:
+		panic(fmt.Sprintf("locman: unknown model %d", int(m)))
+	}
+}
+
+// Unbounded is the MaxDelay value meaning paging delay is unconstrained.
+const Unbounded = paging.Unbounded
+
+// Partition is a residing-area partitioning scheme. Obtain instances from
+// SDF, Blanket, PerRing, EqualCells, OptimalDP or PartitionByName.
+type Partition = paging.Scheme
+
+// SDF returns the paper's shortest-distance-first partitioner (the
+// default).
+func SDF() Partition { return paging.SDF{} }
+
+// Blanket returns the single-cycle whole-area partitioner.
+func Blanket() Partition { return paging.Blanket{} }
+
+// PerRing returns the one-ring-per-cycle partitioner.
+func PerRing() Partition { return paging.PerRing{} }
+
+// EqualCells returns the cell-balanced partitioner.
+func EqualCells() Partition { return paging.EqualCells{} }
+
+// OptimalDP returns the dynamic-programming optimal partitioner (minimum
+// expected polled cells under the delay bound).
+func OptimalDP() Partition { return paging.OptimalDP{} }
+
+// PartitionByName resolves "sdf", "blanket", "per-ring", "equal-cells" or
+// "optimal-dp".
+func PartitionByName(name string) (Partition, error) { return paging.ByName(name) }
+
+// Config describes one terminal's location-management problem.
+type Config struct {
+	// Model selects the grid and chain variant.
+	Model Model
+	// MoveProb is q: the per-slot probability of moving to a neighboring
+	// cell. MoveProb + CallProb must not exceed 1.
+	MoveProb float64
+	// CallProb is c: the per-slot probability of an incoming call.
+	CallProb float64
+	// UpdateCost is U, the cost of one location update.
+	UpdateCost float64
+	// PollCost is V, the cost of polling one cell.
+	PollCost float64
+	// MaxDelay is m, the maximum paging delay in polling cycles;
+	// Unbounded (0) means unconstrained.
+	MaxDelay int
+	// MaxThreshold bounds threshold searches; 0 means 200.
+	MaxThreshold int
+	// Partition overrides the paging partitioner; nil means SDF().
+	Partition Partition
+	// LegacyZeroRate reproduces the paper's published Table 1 and d′
+	// numerics, which used the interior transition rate for the update
+	// cost at threshold 0; see DESIGN.md §4. Leave false for the faithful
+	// equations.
+	LegacyZeroRate bool
+}
+
+func (c Config) internal() core.Config {
+	return core.Config{
+		Model:          c.Model.chain(),
+		Params:         chain.Params{Q: c.MoveProb, C: c.CallProb},
+		Costs:          core.Costs{Update: c.UpdateCost, Poll: c.PollCost},
+		MaxDelay:       c.MaxDelay,
+		Scheme:         c.Partition,
+		LegacyZeroRate: c.LegacyZeroRate,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch c.Model {
+	case OneDimensional, TwoDimensional, TwoDimensionalApprox:
+	default:
+		return fmt.Errorf("locman: unknown model %d", int(c.Model))
+	}
+	if c.MaxThreshold < 0 {
+		return fmt.Errorf("locman: negative MaxThreshold %d", c.MaxThreshold)
+	}
+	return c.internal().Validate()
+}
+
+// Breakdown is the evaluated cost of one (threshold, delay) operating
+// point; see the field documentation in this package's Result type.
+type Breakdown = core.Breakdown
+
+// Result is the outcome of a threshold optimization: the best Breakdown,
+// the scanned cost curve (when applicable) and the number of cost
+// evaluations.
+type Result = core.Result
+
+// AnnealOptions tunes OptimizeAnneal; the zero value selects the paper's
+// defaults.
+type AnnealOptions = core.AnnealOptions
+
+// Stationary returns the steady-state probabilities p_0..p_d of the
+// terminal's ring distance from its last reported cell under threshold d.
+func Stationary(m Model, moveProb, callProb float64, d int) ([]float64, error) {
+	return chain.Stationary(m.chain(), chain.Params{Q: moveProb, C: callProb}, d)
+}
+
+// StationaryClosedForm is like Stationary but uses the paper's closed-form
+// solution; it applies to OneDimensional and TwoDimensionalApprox only.
+func StationaryClosedForm(m Model, moveProb, callProb float64, d int) ([]float64, error) {
+	return chain.StationaryClosedForm(m.chain(), chain.Params{Q: moveProb, C: callProb}, d)
+}
+
+// Evaluate computes the cost breakdown of operating at threshold d.
+func Evaluate(cfg Config, d int) (Breakdown, error) {
+	if err := cfg.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	return cfg.internal().Evaluate(d)
+}
+
+// Optimize finds the optimal threshold d* by exhaustive scan over
+// 0..MaxThreshold (the paper's first method; immune to the local minima of
+// the SDF cost curve).
+func Optimize(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	return core.Scan(cfg.internal(), cfg.MaxThreshold)
+}
+
+// OptimizeAnneal finds a (near-)optimal threshold by the paper's simulated
+// annealing procedure.
+func OptimizeAnneal(cfg Config, opts AnnealOptions) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.MaxThreshold == 0 {
+		opts.MaxThreshold = cfg.MaxThreshold
+	}
+	return core.Anneal(cfg.internal(), opts)
+}
+
+// NearOptimal runs the paper's low-computation pipeline: choose d′ with
+// the approximate closed forms, optionally apply the 0→1 correction
+// (correct=true, recommended), and price d′ with the exact model.
+func NearOptimal(cfg Config, correct bool) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	return core.NearOptimal(cfg.internal(), cfg.MaxThreshold, correct)
+}
+
+// WalkResult is the outcome of a Monte-Carlo walk simulation; per-slot
+// costs are directly comparable with Breakdown.
+type WalkResult = walk.Result
+
+// SimulateWalk runs the mechanism over a random walk on the real cell grid
+// for the given slots and seed.
+func SimulateWalk(cfg Config, d int, slots int64, seed uint64) (WalkResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return WalkResult{}, err
+	}
+	return walk.Run(cfg.internal(), d, slots, seed)
+}
+
+// SimulateWalkParallel is SimulateWalk split across the given number of
+// independent worker streams and merged; statistically equivalent, but the
+// wall-clock time divides by the worker count. Deterministic for a fixed
+// (seed, workers) pair.
+func SimulateWalkParallel(cfg Config, d int, slots int64, seed uint64, workers int) (WalkResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return WalkResult{}, err
+	}
+	return walk.RunParallel(cfg.internal(), d, slots, seed, workers)
+}
+
+// NetworkConfig configures the discrete-event PCN system simulation.
+type NetworkConfig struct {
+	// Config embeds the analytical problem description.
+	Config
+	// Terminals is the population size (default 1).
+	Terminals int
+	// Threshold is the static threshold; negative means network-optimized
+	// once from Config's parameters.
+	Threshold int
+	// Dynamic enables per-terminal online estimation and periodic
+	// near-optimal re-optimization.
+	Dynamic bool
+	// ReoptimizeEvery is the dynamic re-optimization period in slots
+	// (default 2000).
+	ReoptimizeEvery int64
+	// PerTerminal optionally supplies heterogeneous (moveProb, callProb)
+	// per terminal index.
+	PerTerminal func(i int) (moveProb, callProb float64)
+	// UpdateLossProb injects signalling failures: each location-update
+	// message is lost with this probability, forcing occasional
+	// expanding-ring fallback paging (see NetworkMetrics.FallbackCalls).
+	UpdateLossProb float64
+	// Seed seeds the deterministic simulation.
+	Seed uint64
+}
+
+// NetworkMetrics is the outcome of a PCN system simulation, including
+// signalling byte counts and the paging delay distribution.
+type NetworkMetrics = sim.Metrics
+
+// SimulateNetwork runs the PCN system simulator for the given slots.
+func SimulateNetwork(cfg NetworkConfig, slots int64) (*NetworkMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sc := sim.Config{
+		Core:            cfg.internal(),
+		Terminals:       cfg.Terminals,
+		Threshold:       cfg.Threshold,
+		Dynamic:         cfg.Dynamic,
+		ReoptimizeEvery: cfg.ReoptimizeEvery,
+		MaxThreshold:    cfg.MaxThreshold,
+		UpdateLossProb:  cfg.UpdateLossProb,
+		Seed:            cfg.Seed,
+	}
+	if cfg.PerTerminal != nil {
+		sc.PerTerminal = func(i int) chain.Params {
+			q, c := cfg.PerTerminal(i)
+			return chain.Params{Q: q, C: c}
+		}
+	}
+	return sim.Run(sc, slots)
+}
+
+// BaselineScheme identifies a comparison scheme for SimulateBaseline.
+type BaselineScheme = baseline.Scheme
+
+// Baseline schemes (see package documentation): static location areas,
+// periodic time-based updates, movement-count updates, and distance-based
+// updates (this paper's trigger).
+const (
+	BaselineLA            = baseline.LA
+	BaselineTimeBased     = baseline.TimeBased
+	BaselineMovementBased = baseline.MovementBased
+	BaselineDistanceBased = baseline.DistanceBased
+)
+
+// BaselineResult is the outcome of a baseline simulation.
+type BaselineResult = baseline.Result
+
+// SimulateBaseline evaluates a classic scheme under cfg's workload. param
+// is scheme-specific: LA size/radius, update period τ, movement count M,
+// or distance threshold d.
+func SimulateBaseline(cfg Config, scheme BaselineScheme, param int, slots int64, seed uint64) (BaselineResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return BaselineResult{}, err
+	}
+	kind := grid.TwoDimHex
+	if cfg.Model == OneDimensional {
+		kind = grid.OneDim
+	}
+	return baseline.Simulate(baseline.Config{
+		Kind:     kind,
+		Params:   chain.Params{Q: cfg.MoveProb, C: cfg.CallProb},
+		Costs:    core.Costs{Update: cfg.UpdateCost, Poll: cfg.PollCost},
+		Scheme:   scheme,
+		Param:    param,
+		MaxDelay: cfg.MaxDelay,
+	}, slots, seed)
+}
