@@ -10,6 +10,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
@@ -318,6 +320,45 @@ func BenchmarkNetworkSimulator(b *testing.B) {
 	b.ResetTimer()
 	if _, err := sim.Run(cfg, slots); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkRunSharded measures the sharded DES engine's scaling:
+// terminal-slots per second at 10k–1M terminals for one shard (the
+// single-threaded Run) versus one shard per core. Results are
+// bit-identical across the variants (the shard-count-invariance
+// contract); only the wall clock changes.
+func BenchmarkRunSharded(b *testing.B) {
+	shardCounts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		shardCounts = append(shardCounts, p)
+	}
+	for _, terms := range []int{10_000, 100_000, 1_000_000} {
+		for _, shards := range shardCounts {
+			b.Run(fmt.Sprintf("terminals=%d/shards=%d", terms, shards), func(b *testing.B) {
+				cfg := sim.Config{
+					Core: core.Config{
+						Model:    chain.TwoDimExact,
+						Params:   tableParams,
+						Costs:    core.Costs{Update: 100, Poll: 10},
+						MaxDelay: 3,
+					},
+					Terminals: terms,
+					Threshold: 3,
+					Seed:      1,
+				}
+				const slots = 4 // amortizes per-run setup over a few sweeps
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.RunSharded(cfg, slots, shards); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(terms)*slots*float64(b.N)/b.Elapsed().Seconds(),
+					"terminal-slots/s")
+			})
+		}
 	}
 }
 

@@ -4,12 +4,17 @@
 //
 //	pcnsim -model 2d -q 0.05 -c 0.01 -U 100 -V 10 -m 3 -terminals 50 -slots 200000
 //	pcnsim -dynamic -hetero   # per-terminal online estimation demo
+//	pcnsim -terminals 100000 -slots 1000 -shards 8   # sharded parallel engine
+//
+// The population is partitioned across -shards parallel simulation engines
+// (default GOMAXPROCS); metrics are bit-identical for any shard count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"sort"
 
 	"repro/locman"
@@ -32,6 +37,8 @@ func main() {
 	hetero := flag.Bool("hetero", false, "heterogeneous population (per-terminal q varies ±50%)")
 	loss := flag.Float64("loss", 0, "update-message loss probability (failure injection)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0),
+		"parallel simulation shards (results are identical for any shard count)")
 	flag.Parse()
 
 	var mdl locman.Model
@@ -66,7 +73,7 @@ func main() {
 		}
 	}
 
-	metrics, err := locman.SimulateNetwork(cfg, *slots)
+	metrics, err := locman.SimulateNetworkSharded(cfg, *slots, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}

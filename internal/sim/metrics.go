@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Metrics aggregates a run's measurements.
+type Metrics struct {
+	// Slots and Terminals echo the run shape.
+	Slots     int64
+	Terminals int
+	// Updates, Calls and PolledCells count mechanism operations.
+	Updates, Calls, PolledCells int64
+	// UpdateBytes, PollBytes and ReplyBytes count signalling bytes on the
+	// wire per message class.
+	UpdateBytes, PollBytes, ReplyBytes int64
+	// Delay is the per-call paging delay in polling cycles, aggregated
+	// over terminals in id order (so its value is independent of the
+	// shard count, see RunSharded).
+	Delay stats.Accumulator
+	// UpdateCost, PagingCost and TotalCost are per-slot per-terminal
+	// averages in the paper's U/V units, comparable to core.Breakdown.
+	UpdateCost, PagingCost, TotalCost float64
+	// NotFound counts paging failures. The distance-update invariant
+	// guarantees the terminal is inside its residing area, so any nonzero
+	// value indicates a mechanism bug (lossy-update misses are counted as
+	// FallbackCalls instead and always recover).
+	NotFound int64
+	// LostUpdates counts update messages dropped by the injected
+	// signalling loss (Config.UpdateLossProb).
+	LostUpdates int64
+	// FallbackCalls counts calls whose nominal residing-area plan missed
+	// (possible only under update loss) and were resolved by the
+	// expanding-ring fallback search.
+	FallbackCalls int64
+	// ThresholdSlots[d] counts terminal-slots spent operating at
+	// threshold d (interesting under Dynamic).
+	ThresholdSlots map[int]int64
+	// Events counts the scheduler events a single-engine run dispatches:
+	// one slot sweep per slot plus every sub-slot paging event. Shard
+	// metrics carry only their per-terminal share (the slot sweeps are
+	// added back once after merging), keeping the count shard-invariant.
+	Events uint64
+	// PerTerminal holds per-terminal breakdowns in global id order.
+	PerTerminal []TerminalStats
+	// costs retains the unit costs so Merge can recompute the per-slot
+	// averages from merged counters.
+	costs core.Costs
+}
+
+// TerminalStats is one terminal's share of the run.
+type TerminalStats struct {
+	// ID is the terminal's global id (its index in a single-engine run).
+	ID int
+	// Updates, Calls and PolledCells count this terminal's operations.
+	Updates, Calls, PolledCells int64
+	// Delay is this terminal's per-call paging delay in polling cycles.
+	Delay stats.Accumulator
+	// TotalCost is the terminal's per-slot average cost in U/V units.
+	TotalCost float64
+	// FinalThreshold is the threshold in effect when the run ended.
+	FinalThreshold int
+}
+
+// Merge folds o — the metrics of a disjoint set of terminals simulated
+// over the same slots with the same unit costs — into m, which may be the
+// zero value. Counters are summed, ThresholdSlots histograms are added
+// key-wise, PerTerminal records are concatenated and kept sorted by global
+// id, and the aggregates (Delay, the per-slot cost averages) are
+// recomputed from the merged per-terminal records in id order. Because the
+// recomputation order is the global id order regardless of how terminals
+// were grouped, folding any partition of the same population yields
+// bit-identical Metrics — the shard-count-invariance contract of
+// RunSharded.
+func (m *Metrics) Merge(o *Metrics) {
+	if o == nil {
+		return
+	}
+	if m.Slots == 0 {
+		m.Slots = o.Slots
+		m.costs = o.costs
+	}
+	m.Terminals += o.Terminals
+	m.Updates += o.Updates
+	m.Calls += o.Calls
+	m.PolledCells += o.PolledCells
+	m.UpdateBytes += o.UpdateBytes
+	m.PollBytes += o.PollBytes
+	m.ReplyBytes += o.ReplyBytes
+	m.NotFound += o.NotFound
+	m.LostUpdates += o.LostUpdates
+	m.FallbackCalls += o.FallbackCalls
+	m.Events += o.Events
+	if len(o.ThresholdSlots) > 0 && m.ThresholdSlots == nil {
+		m.ThresholdSlots = make(map[int]int64, len(o.ThresholdSlots))
+	}
+	for d, n := range o.ThresholdSlots {
+		m.ThresholdSlots[d] += n
+	}
+	m.PerTerminal = append(m.PerTerminal, o.PerTerminal...)
+	sort.Slice(m.PerTerminal, func(i, j int) bool {
+		return m.PerTerminal[i].ID < m.PerTerminal[j].ID
+	})
+	m.recompute()
+}
+
+// recompute rebuilds the aggregate fields that are not plain counter sums:
+// the delay accumulator (folded over terminals in id order, so the
+// floating-point reduction order never depends on the sharding) and the
+// per-slot cost averages.
+func (m *Metrics) recompute() {
+	m.Delay = stats.Accumulator{}
+	for i := range m.PerTerminal {
+		m.Delay.Merge(&m.PerTerminal[i].Delay)
+	}
+	denom := float64(m.Slots) * float64(m.Terminals)
+	if denom == 0 {
+		m.UpdateCost, m.PagingCost, m.TotalCost = 0, 0, 0
+		return
+	}
+	m.UpdateCost = float64(m.Updates) * m.costs.Update / denom
+	m.PagingCost = float64(m.PolledCells) * m.costs.Poll / denom
+	m.TotalCost = m.UpdateCost + m.PagingCost
+}

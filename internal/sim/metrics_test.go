@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// shardMetrics builds a plausible one-shard Metrics for terminals with the
+// given global ids: each terminal contributes one update, one call with a
+// one-cycle delay, and two polled cells per call.
+func shardMetrics(slots int64, ids ...int) *Metrics {
+	m := &Metrics{
+		Slots:          slots,
+		Terminals:      len(ids),
+		ThresholdSlots: make(map[int]int64),
+		costs:          core.Costs{Update: 100, Poll: 10},
+	}
+	for _, id := range ids {
+		ts := TerminalStats{ID: id, Updates: 1, Calls: 1, PolledCells: 2, FinalThreshold: 3}
+		ts.Delay.Add(1)
+		m.PerTerminal = append(m.PerTerminal, ts)
+		m.Updates++
+		m.Calls++
+		m.PolledCells += 2
+		m.Events += 4
+		m.ThresholdSlots[3] += slots
+	}
+	m.recompute()
+	return m
+}
+
+func TestMetricsMerge(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		into   *Metrics
+		merge  []*Metrics
+		verify func(t *testing.T, m *Metrics)
+	}{
+		{
+			name:  "empty merge",
+			into:  &Metrics{},
+			merge: nil,
+			verify: func(t *testing.T, m *Metrics) {
+				if !reflect.DeepEqual(m, &Metrics{}) {
+					t.Errorf("zero metrics changed: %+v", m)
+				}
+			},
+		},
+		{
+			name:  "nil shard is a no-op",
+			into:  shardMetrics(50, 0, 1),
+			merge: []*Metrics{nil},
+			verify: func(t *testing.T, m *Metrics) {
+				if !reflect.DeepEqual(m, shardMetrics(50, 0, 1)) {
+					t.Errorf("nil merge changed the receiver: %+v", m)
+				}
+			},
+		},
+		{
+			name:  "single shard into empty",
+			into:  &Metrics{},
+			merge: []*Metrics{shardMetrics(50, 0, 1, 2)},
+			verify: func(t *testing.T, m *Metrics) {
+				want := shardMetrics(50, 0, 1, 2)
+				if m.Slots != want.Slots || m.Terminals != want.Terminals ||
+					m.Updates != want.Updates || m.Events != want.Events {
+					t.Errorf("merged %+v, want %+v", m, want)
+				}
+				if m.UpdateCost != want.UpdateCost || m.TotalCost != want.TotalCost {
+					t.Errorf("costs (%v, %v), want (%v, %v)",
+						m.UpdateCost, m.TotalCost, want.UpdateCost, want.TotalCost)
+				}
+				if m.Delay.N() != 3 || m.Delay.Mean() != 1 {
+					t.Errorf("delay %v", m.Delay)
+				}
+			},
+		},
+		{
+			name:  "overlapping ThresholdSlots keys",
+			into:  &Metrics{},
+			merge: []*Metrics{shardMetrics(50, 0), shardMetrics(50, 1, 2)},
+			verify: func(t *testing.T, m *Metrics) {
+				// Both shards operate at threshold 3: keys must add, not
+				// overwrite.
+				if got := m.ThresholdSlots[3]; got != 150 {
+					t.Errorf("ThresholdSlots[3] = %d, want 150", got)
+				}
+				if len(m.ThresholdSlots) != 1 {
+					t.Errorf("histogram %v, want a single key", m.ThresholdSlots)
+				}
+			},
+		},
+		{
+			name:  "distinct ThresholdSlots keys are kept",
+			into:  shardMetrics(50, 0),
+			merge: []*Metrics{{ThresholdSlots: map[int]int64{7: 9}}},
+			verify: func(t *testing.T, m *Metrics) {
+				if m.ThresholdSlots[3] != 50 || m.ThresholdSlots[7] != 9 {
+					t.Errorf("histogram %v", m.ThresholdSlots)
+				}
+			},
+		},
+		{
+			name:  "PerTerminal sorted by global id",
+			into:  &Metrics{},
+			merge: []*Metrics{shardMetrics(50, 4, 5), shardMetrics(50, 0, 1), shardMetrics(50, 2, 3)},
+			verify: func(t *testing.T, m *Metrics) {
+				if len(m.PerTerminal) != 6 {
+					t.Fatalf("%d records", len(m.PerTerminal))
+				}
+				for i, ts := range m.PerTerminal {
+					if ts.ID != i {
+						t.Errorf("record %d has id %d", i, ts.ID)
+					}
+				}
+			},
+		},
+		{
+			name:  "counters and costs reduce across shards",
+			into:  &Metrics{},
+			merge: []*Metrics{shardMetrics(50, 0, 1), shardMetrics(50, 2)},
+			verify: func(t *testing.T, m *Metrics) {
+				if m.Terminals != 3 || m.Updates != 3 || m.PolledCells != 6 || m.Events != 12 {
+					t.Errorf("counters %+v", m)
+				}
+				// 3 updates × U=100 over 50 slots × 3 terminals = 2 per
+				// slot per terminal; 6 cells × V=10 → 0.4.
+				if m.UpdateCost != 2 || m.PagingCost != 0.4 || m.TotalCost != 2.4 {
+					t.Errorf("costs (%v, %v, %v)", m.UpdateCost, m.PagingCost, m.TotalCost)
+				}
+				if m.Delay.N() != 3 {
+					t.Errorf("delay samples %d", m.Delay.N())
+				}
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, o := range tc.merge {
+				tc.into.Merge(o)
+			}
+			tc.verify(t, tc.into)
+		})
+	}
+}
+
+// TestMetricsMergeGroupingInvariant checks the floating-point reduction is
+// grouping-independent: folding shards {0,1}+{2,3} and {0}+{1,2}+{3} must
+// give bit-identical aggregates, because Merge always re-reduces from the
+// per-terminal records in id order.
+func TestMetricsMergeGroupingInvariant(t *testing.T) {
+	delays := map[int][]float64{
+		0: {1, 2, 3}, 1: {2}, 2: {1, 1, 2}, 3: {3, 1},
+	}
+	build := func(ids ...int) *Metrics {
+		m := &Metrics{Slots: 10, Terminals: len(ids), ThresholdSlots: map[int]int64{}}
+		for _, id := range ids {
+			ts := TerminalStats{ID: id}
+			for _, d := range delays[id] {
+				ts.Delay.Add(d)
+			}
+			m.PerTerminal = append(m.PerTerminal, ts)
+		}
+		m.recompute()
+		return m
+	}
+	var a Metrics
+	a.Merge(build(0, 1))
+	a.Merge(build(2, 3))
+	var b Metrics
+	b.Merge(build(0))
+	b.Merge(build(1, 2))
+	b.Merge(build(3))
+	if !reflect.DeepEqual(&a, &b) {
+		t.Errorf("grouping changed the merged metrics:\n%+v\n%+v", a, b)
+	}
+	if a.Delay.N() != 9 {
+		t.Errorf("delay samples %d, want 9", a.Delay.N())
+	}
+}

@@ -18,7 +18,9 @@ type partInfo struct {
 }
 
 // network is the fixed-network side: the HLR location registry, the paging
-// controller, and the signalling accounting.
+// controller, and the signalling accounting. One network instance serves
+// one shard of the terminal population (the whole population in a
+// single-engine run).
 type network struct {
 	cfg     Config
 	loc     locator
@@ -26,12 +28,13 @@ type network struct {
 	hlr     map[uint32]hlrRecord
 	metrics *Metrics
 	parts   map[int]partInfo
+	first   uint32 // global id of the shard's first terminal
 	callSeq uint32
 	scratch []byte // reused encode buffer for byte accounting
 }
 
 func (n *network) term(id uint32) *TerminalStats {
-	return &n.metrics.PerTerminal[id]
+	return &n.metrics.PerTerminal[id-n.first]
 }
 
 // partitionFor returns (building and caching on demand) the paging plan for
@@ -170,7 +173,10 @@ func (n *network) page(t *terminal) {
 				// sides re-center, restoring the invariant even after
 				// lost updates.
 				t.center = t.pos
-				n.metrics.Delay.Add(float64(j + 1))
+				// Record the delay on the terminal's own accumulator;
+				// the aggregate is folded in id order at merge time so
+				// it is independent of the shard count.
+				n.term(t.id).Delay.Add(float64(j + 1))
 			})
 			return
 		}
@@ -204,7 +210,7 @@ func (n *network) fallbackPage(t *terminal, rec hlrRecord, ring int, info partIn
 		n.term(t.id).PolledCells += int64(cells)
 		n.metrics.PollBytes += int64(cells * wire.PollSize)
 		n.metrics.ReplyBytes += wire.ReplySize
-		n.metrics.Delay.Add(float64(cycles))
+		n.term(t.id).Delay.Add(float64(cycles))
 		r := n.hlr[t.id]
 		r.center = t.pos
 		n.hlr[t.id] = r

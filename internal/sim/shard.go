@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// RunSharded simulates the network for the given number of slots with the
+// terminal population partitioned into shards independent shard
+// simulations — each with its own discrete-event scheduler, HLR slice and
+// RNG streams — executed concurrently on the sweep.Map pool and merged
+// with Metrics.Merge. Terminals interact only through their own HLR
+// record, so the partition is exact, not an approximation.
+//
+// Results are shard-count invariant: every terminal's RNG stream is
+// derived from (cfg.Seed, terminal id) via stats.SubStream, and the merge
+// reduces per-terminal records in global id order, so a given seed yields
+// bit-identical Metrics for every shard count (including Run, the
+// one-shard case). shards == 0 selects GOMAXPROCS; negative shard counts
+// are rejected; shard counts beyond the population are clamped to one
+// terminal per shard.
+func RunSharded(cfg Config, slots int64, shards int) (*Metrics, error) {
+	cfg = cfg.withDefaults()
+	if err := validate(cfg, slots); err != nil {
+		return nil, err
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("sim: negative shard count %d", shards)
+	}
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > cfg.Terminals {
+		shards = cfg.Terminals
+	}
+	startD, err := startThreshold(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var loc locator = hexLocator{}
+	if cfg.Core.Model == chain.OneDim {
+		loc = lineLocator{}
+	}
+
+	parts, err := sweep.Map(shards, 0, func(s int) (*Metrics, error) {
+		lo := s * cfg.Terminals / shards
+		hi := (s + 1) * cfg.Terminals / shards
+		return runShard(cfg, slots, lo, hi, startD, loc)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	merged := &Metrics{}
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	// Each shard reported only its sub-slot events; add the slot-sweep
+	// chain once, restoring the single-engine convention.
+	merged.Events += uint64(slots)
+	return merged, nil
+}
+
+// validate rejects unusable configurations; cfg must already carry its
+// defaults.
+func validate(cfg Config, slots int64) error {
+	if err := cfg.Core.Validate(); err != nil {
+		return err
+	}
+	if slots <= 0 {
+		return errors.New("sim: slots must be positive")
+	}
+	if cfg.UpdateLossProb < 0 || cfg.UpdateLossProb >= 1 {
+		return fmt.Errorf("sim: update loss probability %v outside [0,1)", cfg.UpdateLossProb)
+	}
+	if cfg.Threshold > cfg.MaxThreshold {
+		return fmt.Errorf("sim: threshold %d exceeds MaxThreshold %d", cfg.Threshold, cfg.MaxThreshold)
+	}
+	if 2*(cfg.MaxThreshold+2) >= SlotTicks {
+		return fmt.Errorf("sim: MaxThreshold %d needs more polling ticks than a slot holds (%d)", cfg.MaxThreshold, SlotTicks)
+	}
+	return nil
+}
+
+// startThreshold resolves the static threshold every terminal starts with;
+// negative Config.Threshold means network-optimized. It runs once before
+// sharding so every shard starts from the same d.
+func startThreshold(cfg Config) (int, error) {
+	if cfg.Threshold >= 0 {
+		return cfg.Threshold, nil
+	}
+	res, err := core.Scan(cfg.Core, cfg.MaxThreshold)
+	if err != nil {
+		return 0, err
+	}
+	return res.Best.Threshold, nil
+}
+
+// runShard simulates terminals [lo, hi) of the global population on one
+// discrete-event engine. Its Metrics carry only this shard's share:
+// Terminals is hi−lo, PerTerminal holds records for ids lo..hi−1 and
+// Events counts sub-slot events only (the caller adds the slot sweeps
+// once after merging).
+func runShard(cfg Config, slots int64, lo, hi, startD int, loc locator) (*Metrics, error) {
+	n := &network{
+		cfg:   cfg,
+		loc:   loc,
+		first: uint32(lo),
+		hlr:   make(map[uint32]hlrRecord, hi-lo),
+		metrics: &Metrics{
+			Slots:          slots,
+			Terminals:      hi - lo,
+			ThresholdSlots: make(map[int]int64),
+			PerTerminal:    make([]TerminalStats, hi-lo),
+			costs:          cfg.Core.Costs,
+		},
+		parts: make(map[int]partInfo),
+	}
+
+	terms := make([]*terminal, hi-lo)
+	for g := lo; g < hi; g++ {
+		p := cfg.Core.Params
+		if cfg.PerTerminal != nil {
+			p = cfg.PerTerminal(g)
+			if err := p.Validate(); err != nil {
+				return nil, fmt.Errorf("sim: terminal %d: %w", g, err)
+			}
+		}
+		t := &terminal{
+			id:        uint32(g),
+			params:    p,
+			rng:       stats.SubStream(cfg.Seed, uint64(g)),
+			est:       estimator{alpha: cfg.EWMAAlpha},
+			threshold: startD,
+		}
+		if p.Q > 0 {
+			t.moveProb = p.Q / (1 - p.C)
+		}
+		terms[g-lo] = t
+		n.metrics.PerTerminal[g-lo].ID = g
+		// Initial registration (subscription-time provisioning, not a
+		// mechanism update).
+		n.register(t.makeUpdate())
+	}
+
+	var sched des.Scheduler
+	n.sched = &sched
+
+	// One event per slot sweeps the shard's terminals: movement/update and
+	// call arrivals; paging cycles run as sub-slot events.
+	var slot func()
+	cur := int64(0)
+	slot = func() {
+		for _, t := range terms {
+			n.metrics.ThresholdSlots[t.threshold]++
+			called := t.rng.Bernoulli(t.params.C)
+			moved := false
+			if called {
+				n.page(t)
+			} else if t.rng.Bernoulli(t.moveProb) {
+				moved = true
+				t.pos = loc.move(t.pos, t.rng)
+				if loc.dist(t.pos, t.center) > t.threshold {
+					t.center = t.pos
+					n.sendUpdate(t)
+				}
+			}
+			if cfg.Dynamic {
+				t.est.observe(moved, called)
+			}
+		}
+		if cfg.Dynamic && cur > 0 && cur%cfg.ReoptimizeEvery == 0 {
+			for _, t := range terms {
+				n.reoptimize(t)
+			}
+		}
+		cur++
+		if cur < slots {
+			sched.After(SlotTicks, slot)
+		}
+	}
+	sched.At(0, slot)
+	sched.Drain()
+
+	m := n.metrics
+	m.Events = sched.Processed() - uint64(slots)
+	for i := range m.PerTerminal {
+		ts := &m.PerTerminal[i]
+		ts.TotalCost = (float64(ts.Updates)*cfg.Core.Costs.Update +
+			float64(ts.PolledCells)*cfg.Core.Costs.Poll) / float64(slots)
+		ts.FinalThreshold = terms[i].threshold
+	}
+	m.recompute()
+	return m, nil
+}

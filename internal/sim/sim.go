@@ -18,12 +18,8 @@
 package sim
 
 import (
-	"errors"
-	"fmt"
-
 	"repro/internal/chain"
 	"repro/internal/core"
-	"repro/internal/des"
 	"repro/internal/grid"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -73,7 +69,10 @@ type Config struct {
 	// but costs extra cells and cycles — quantifying the mechanism's
 	// sensitivity to update loss, something the paper's analysis cannot.
 	UpdateLossProb float64
-	// Seed seeds the simulation's deterministic RNG tree.
+	// Seed seeds the simulation's deterministic RNG streams: terminal i
+	// draws from stats.SubStream(Seed, i), so its stream depends only on
+	// (Seed, i) — never on the population size ordering or the shard
+	// partition (see RunSharded).
 	Seed uint64
 }
 
@@ -91,52 +90,6 @@ func (c Config) withDefaults() Config {
 		c.MaxThreshold = 50
 	}
 	return c
-}
-
-// Metrics aggregates a run's measurements.
-type Metrics struct {
-	// Slots and Terminals echo the run shape.
-	Slots     int64
-	Terminals int
-	// Updates, Calls and PolledCells count mechanism operations.
-	Updates, Calls, PolledCells int64
-	// UpdateBytes, PollBytes and ReplyBytes count signalling bytes on the
-	// wire per message class.
-	UpdateBytes, PollBytes, ReplyBytes int64
-	// Delay is the per-call paging delay in polling cycles.
-	Delay stats.Accumulator
-	// UpdateCost, PagingCost and TotalCost are per-slot per-terminal
-	// averages in the paper's U/V units, comparable to core.Breakdown.
-	UpdateCost, PagingCost, TotalCost float64
-	// NotFound counts paging failures. The distance-update invariant
-	// guarantees the terminal is inside its residing area, so any nonzero
-	// value indicates a mechanism bug (lossy-update misses are counted as
-	// FallbackCalls instead and always recover).
-	NotFound int64
-	// LostUpdates counts update messages dropped by the injected
-	// signalling loss (Config.UpdateLossProb).
-	LostUpdates int64
-	// FallbackCalls counts calls whose nominal residing-area plan missed
-	// (possible only under update loss) and were resolved by the
-	// expanding-ring fallback search.
-	FallbackCalls int64
-	// ThresholdSlots[d] counts terminal-slots spent operating at
-	// threshold d (interesting under Dynamic).
-	ThresholdSlots map[int]int64
-	// Events is the number of scheduler events dispatched.
-	Events uint64
-	// PerTerminal holds per-terminal breakdowns, indexed by terminal id.
-	PerTerminal []TerminalStats
-}
-
-// TerminalStats is one terminal's share of the run.
-type TerminalStats struct {
-	// Updates, Calls and PolledCells count this terminal's operations.
-	Updates, Calls, PolledCells int64
-	// TotalCost is the terminal's per-slot average cost in U/V units.
-	TotalCost float64
-	// FinalThreshold is the threshold in effect when the run ended.
-	FinalThreshold int
 }
 
 // locator abstracts cell geometry over the two grids using wire.Cell as a
@@ -227,130 +180,12 @@ type terminal struct {
 	moveProb  float64 // q/(1−c), cached
 }
 
-// Run simulates the network for the given number of slots.
+// Run simulates the network for the given number of slots on a single
+// discrete-event engine. It is exactly RunSharded(cfg, slots, 1): each
+// terminal's RNG stream is addressed by (cfg.Seed, terminal id), so the
+// results are bit-identical to any sharded run of the same configuration.
 func Run(cfg Config, slots int64) (*Metrics, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Core.Validate(); err != nil {
-		return nil, err
-	}
-	if slots <= 0 {
-		return nil, errors.New("sim: slots must be positive")
-	}
-	if cfg.UpdateLossProb < 0 || cfg.UpdateLossProb >= 1 {
-		return nil, fmt.Errorf("sim: update loss probability %v outside [0,1)", cfg.UpdateLossProb)
-	}
-	if cfg.Threshold > cfg.MaxThreshold {
-		return nil, fmt.Errorf("sim: threshold %d exceeds MaxThreshold %d", cfg.Threshold, cfg.MaxThreshold)
-	}
-	if 2*(cfg.MaxThreshold+2) >= SlotTicks {
-		return nil, fmt.Errorf("sim: MaxThreshold %d needs more polling ticks than a slot holds (%d)", cfg.MaxThreshold, SlotTicks)
-	}
-
-	var loc locator = hexLocator{}
-	if cfg.Core.Model == chain.OneDim {
-		loc = lineLocator{}
-	}
-
-	startD := cfg.Threshold
-	if startD < 0 {
-		res, err := core.Scan(cfg.Core, cfg.MaxThreshold)
-		if err != nil {
-			return nil, err
-		}
-		startD = res.Best.Threshold
-	}
-
-	n := &network{
-		cfg: cfg,
-		loc: loc,
-		hlr: make(map[uint32]hlrRecord, cfg.Terminals),
-		metrics: &Metrics{
-			Terminals:      cfg.Terminals,
-			ThresholdSlots: make(map[int]int64),
-			PerTerminal:    make([]TerminalStats, cfg.Terminals),
-		},
-		parts: make(map[int]partInfo),
-	}
-
-	root := stats.NewRNG(cfg.Seed)
-	terms := make([]*terminal, cfg.Terminals)
-	for i := range terms {
-		p := cfg.Core.Params
-		if cfg.PerTerminal != nil {
-			p = cfg.PerTerminal(i)
-			if err := p.Validate(); err != nil {
-				return nil, fmt.Errorf("sim: terminal %d: %w", i, err)
-			}
-		}
-		t := &terminal{
-			id:        uint32(i),
-			params:    p,
-			rng:       root.Split(),
-			est:       estimator{alpha: cfg.EWMAAlpha},
-			threshold: startD,
-		}
-		if p.Q > 0 {
-			t.moveProb = p.Q / (1 - p.C)
-		}
-		terms[i] = t
-		// Initial registration (subscription-time provisioning, not a
-		// mechanism update).
-		n.register(t.makeUpdate())
-	}
-
-	var sched des.Scheduler
-	n.sched = &sched
-
-	// One event per slot sweeps all terminals: movement/update and call
-	// arrivals; paging cycles run as sub-slot events.
-	var slot func()
-	cur := int64(0)
-	slot = func() {
-		for _, t := range terms {
-			n.metrics.ThresholdSlots[t.threshold]++
-			called := t.rng.Bernoulli(t.params.C)
-			moved := false
-			if called {
-				n.page(t)
-			} else if t.rng.Bernoulli(t.moveProb) {
-				moved = true
-				t.pos = loc.move(t.pos, t.rng)
-				if loc.dist(t.pos, t.center) > t.threshold {
-					t.center = t.pos
-					n.sendUpdate(t)
-				}
-			}
-			if cfg.Dynamic {
-				t.est.observe(moved, called)
-			}
-		}
-		if cfg.Dynamic && cur > 0 && cur%cfg.ReoptimizeEvery == 0 {
-			for _, t := range terms {
-				n.reoptimize(t)
-			}
-		}
-		cur++
-		if cur < slots {
-			sched.After(SlotTicks, slot)
-		}
-	}
-	sched.At(0, slot)
-	sched.Drain()
-
-	m := n.metrics
-	m.Slots = slots
-	m.Events = sched.Processed()
-	denom := float64(slots) * float64(cfg.Terminals)
-	m.UpdateCost = float64(m.Updates) * cfg.Core.Costs.Update / denom
-	m.PagingCost = float64(m.PolledCells) * cfg.Core.Costs.Poll / denom
-	m.TotalCost = m.UpdateCost + m.PagingCost
-	for i := range m.PerTerminal {
-		ts := &m.PerTerminal[i]
-		ts.TotalCost = (float64(ts.Updates)*cfg.Core.Costs.Update +
-			float64(ts.PolledCells)*cfg.Core.Costs.Poll) / float64(slots)
-		ts.FinalThreshold = terms[i].threshold
-	}
-	return m, nil
+	return RunSharded(cfg, slots, 1)
 }
 
 func (t *terminal) makeUpdate() wire.Update {

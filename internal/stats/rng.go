@@ -10,20 +10,25 @@ type RNG struct {
 	s [4]uint64
 }
 
+// splitmixGamma is the Weyl-sequence increment of splitmix64.
+const splitmixGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 output function: a bijective avalanche mixer
+// turning a sequential counter into well-distributed 64-bit values.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // NewRNG returns a generator seeded from seed via splitmix64, guaranteeing
 // a well-mixed non-zero state for any seed including 0.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
 	sm := seed
-	next := func() uint64 {
-		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
-	}
 	for i := range r.s {
-		r.s[i] = next()
+		sm += splitmixGamma
+		r.s[i] = mix64(sm)
 	}
 	return r
 }
@@ -72,7 +77,21 @@ func (r *RNG) Bernoulli(p float64) bool {
 }
 
 // Split derives an independent generator, for giving each simulated
-// terminal its own stream.
+// terminal its own stream. The derived stream depends on how many times
+// the parent has been consumed, so Split is order-dependent; use SubStream
+// when streams must be addressable by a stable index.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
+}
+
+// SubStream returns stream id of the deterministic generator family rooted
+// at seed. The family partitions a single splitmix64 sequence (rooted at
+// mix64(seed)) into disjoint four-word blocks: stream id's xoshiro state is
+// words 4·id+1 … 4·id+4 of that sequence, so streams never overlap and
+// SubStream(seed, id) depends only on the pair (seed, id) — never on the
+// order or number of other streams drawn. That positional addressing is
+// what makes the sharded simulator's results invariant under re-partitioning
+// terminals across shards (sim.RunSharded).
+func SubStream(seed, id uint64) *RNG {
+	return NewRNG(mix64(seed) + 4*id*splitmixGamma)
 }

@@ -5,10 +5,35 @@ import (
 	"testing"
 )
 
+// corpusUpdates, corpusPolls and corpusReplies are valid messages spanning
+// the field edge cases: zero values, negative cell coordinates, and
+// saturated integers. They seed every byte-level fuzz target with
+// structure-aware inputs, so mutation starts from decodable messages
+// instead of having to rediscover the framing.
+var (
+	corpusUpdates = []Update{
+		{},
+		{Terminal: 1, Cell: Cell{2, -3}, Seq: 4, Threshold: 5},
+		{Terminal: ^uint32(0), Cell: Cell{1 << 30, -(1 << 30)}, Seq: ^uint32(0), Threshold: ^uint16(0)},
+	}
+	corpusPolls = []Poll{
+		{},
+		{Terminal: 9, Cell: Cell{-7, 1}, Call: 3, Cycle: 2},
+		{Terminal: ^uint32(0), Cell: Cell{-1, -1}, Call: ^uint32(0), Cycle: 255},
+	}
+	corpusReplies = []Reply{
+		{},
+		{Terminal: 8, Cell: Cell{0, 0}, Call: 12},
+		{Terminal: ^uint32(0), Cell: Cell{1 << 30, -(1 << 30)}, Call: ^uint32(0)},
+	}
+)
+
 // FuzzDecodeUpdate checks that arbitrary bytes never panic the decoder and
 // that anything it accepts re-encodes to the same prefix.
 func FuzzDecodeUpdate(f *testing.F) {
-	f.Add(Update{Terminal: 1, Cell: Cell{2, -3}, Seq: 4, Threshold: 5}.Encode(nil))
+	for _, u := range corpusUpdates {
+		f.Add(u.Encode(nil))
+	}
 	f.Add([]byte{})
 	f.Add([]byte{byte(TypeUpdate)})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
@@ -26,7 +51,9 @@ func FuzzDecodeUpdate(f *testing.F) {
 
 // FuzzDecodePoll is the poll-message analogue.
 func FuzzDecodePoll(f *testing.F) {
-	f.Add(Poll{Terminal: 9, Cell: Cell{-7, 1}, Call: 3, Cycle: 2}.Encode(nil))
+	for _, p := range corpusPolls {
+		f.Add(p.Encode(nil))
+	}
 	f.Add([]byte{byte(TypePoll), 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := DecodePoll(data)
@@ -42,7 +69,9 @@ func FuzzDecodePoll(f *testing.F) {
 
 // FuzzDecodeReply is the reply-message analogue.
 func FuzzDecodeReply(f *testing.F) {
-	f.Add(Reply{Terminal: 8, Cell: Cell{0, 0}, Call: 12}.Encode(nil))
+	for _, r := range corpusReplies {
+		f.Add(r.Encode(nil))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := DecodeReply(data)
 		if err != nil {
@@ -51,6 +80,78 @@ func FuzzDecodeReply(f *testing.F) {
 		re := r.Encode(nil)
 		if !bytes.Equal(re, data[:ReplySize]) {
 			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
+
+// FuzzRoundTrip is the structure-aware complement of the byte-level
+// targets: it fuzzes over message *fields* (so every input is a valid
+// message by construction) and asserts the codec's round-trip law
+// decode(encode(x)) == x for all three message classes, plus Peek and the
+// cross-decoder type-tag rejections.
+func FuzzRoundTrip(f *testing.F) {
+	add := func(kind uint8, term uint32, q, r int32, x uint32, aux uint16) {
+		f.Add(kind, term, q, r, x, aux)
+	}
+	for _, u := range corpusUpdates {
+		add(0, u.Terminal, u.Cell.Q, u.Cell.R, u.Seq, u.Threshold)
+	}
+	for _, p := range corpusPolls {
+		add(1, p.Terminal, p.Cell.Q, p.Cell.R, p.Call, uint16(p.Cycle))
+	}
+	for _, r := range corpusReplies {
+		add(2, r.Terminal, r.Cell.Q, r.Cell.R, r.Call, 0)
+	}
+	f.Fuzz(func(t *testing.T, kind uint8, term uint32, q, r int32, x uint32, aux uint16) {
+		cell := Cell{Q: q, R: r}
+		var enc []byte
+		var want MsgType
+		switch kind % 3 {
+		case 0:
+			u := Update{Terminal: term, Cell: cell, Seq: x, Threshold: aux}
+			enc = u.Encode(nil)
+			want = TypeUpdate
+			got, err := DecodeUpdate(enc)
+			if err != nil {
+				t.Fatalf("decode valid update: %v", err)
+			}
+			if got != u {
+				t.Fatalf("round trip: %+v != %+v", got, u)
+			}
+			if _, err := DecodePoll(enc); err == nil {
+				t.Fatal("poll decoder accepted an update")
+			}
+		case 1:
+			p := Poll{Terminal: term, Cell: cell, Call: x, Cycle: uint8(aux)}
+			enc = p.Encode(nil)
+			want = TypePoll
+			got, err := DecodePoll(enc)
+			if err != nil {
+				t.Fatalf("decode valid poll: %v", err)
+			}
+			if got != p {
+				t.Fatalf("round trip: %+v != %+v", got, p)
+			}
+			if _, err := DecodeReply(enc); err == nil {
+				t.Fatal("reply decoder accepted a poll")
+			}
+		case 2:
+			rp := Reply{Terminal: term, Cell: cell, Call: x}
+			enc = rp.Encode(nil)
+			want = TypeReply
+			got, err := DecodeReply(enc)
+			if err != nil {
+				t.Fatalf("decode valid reply: %v", err)
+			}
+			if got != rp {
+				t.Fatalf("round trip: %+v != %+v", got, rp)
+			}
+			if _, err := DecodeUpdate(enc); err == nil {
+				t.Fatal("update decoder accepted a reply")
+			}
+		}
+		if tag, err := Peek(enc); err != nil || tag != want {
+			t.Fatalf("Peek = (%v, %v), want %v", tag, err, want)
 		}
 	})
 }

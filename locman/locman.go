@@ -280,11 +280,7 @@ type NetworkConfig struct {
 // signalling byte counts and the paging delay distribution.
 type NetworkMetrics = sim.Metrics
 
-// SimulateNetwork runs the PCN system simulator for the given slots.
-func SimulateNetwork(cfg NetworkConfig, slots int64) (*NetworkMetrics, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
+func (cfg NetworkConfig) simConfig() sim.Config {
 	sc := sim.Config{
 		Core:            cfg.internal(),
 		Terminals:       cfg.Terminals,
@@ -301,7 +297,29 @@ func SimulateNetwork(cfg NetworkConfig, slots int64) (*NetworkMetrics, error) {
 			return chain.Params{Q: q, C: c}
 		}
 	}
-	return sim.Run(sc, slots)
+	return sc
+}
+
+// SimulateNetwork runs the PCN system simulator for the given slots.
+func SimulateNetwork(cfg NetworkConfig, slots int64) (*NetworkMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg.simConfig(), slots)
+}
+
+// SimulateNetworkSharded is SimulateNetwork with the terminal population
+// partitioned across shards independent discrete-event engines running in
+// parallel. Results are bit-identical to SimulateNetwork for any shard
+// count — per-terminal RNG streams are addressed by (Seed, terminal id),
+// so determinism does not depend on the partition — while wall-clock time
+// divides by the available cores. shards 0 selects GOMAXPROCS; negative
+// values are rejected; shard counts beyond Terminals are clamped.
+func SimulateNetworkSharded(cfg NetworkConfig, slots int64, shards int) (*NetworkMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return sim.RunSharded(cfg.simConfig(), slots, shards)
 }
 
 // BaselineScheme identifies a comparison scheme for SimulateBaseline.

@@ -2,6 +2,7 @@ package locman
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -119,6 +120,31 @@ func TestSimulateNetworkSmoke(t *testing.T) {
 	}
 	if m.Calls == 0 || m.Updates == 0 {
 		t.Error("no traffic")
+	}
+}
+
+func TestSimulateNetworkShardedMatchesSingleEngine(t *testing.T) {
+	cfg := NetworkConfig{
+		Config:    valid(),
+		Terminals: 8,
+		Threshold: 2,
+		Seed:      7,
+	}
+	want, err := SimulateNetwork(cfg, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 1, 3} {
+		got, err := SimulateNetworkSharded(cfg, 5_000, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d: sharded metrics diverged from SimulateNetwork", shards)
+		}
+	}
+	if _, err := SimulateNetworkSharded(cfg, 5_000, -1); err == nil {
+		t.Error("negative shard count accepted")
 	}
 }
 
