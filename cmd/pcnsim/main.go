@@ -5,6 +5,8 @@
 //	pcnsim -model 2d -q 0.05 -c 0.01 -U 100 -V 10 -m 3 -terminals 50 -slots 200000
 //	pcnsim -dynamic -hetero   # per-terminal online estimation demo
 //	pcnsim -terminals 100000 -slots 1000 -shards 8   # sharded parallel engine
+//	pcnsim -loss 0.2 -poll-loss 0.1 -reply-loss 0.1 -update-retries 3 \
+//	       -outage 50000:60000   # fault injection + recovery subsystem
 //
 // The population is partitioned across -shards parallel simulation engines
 // (default GOMAXPROCS); metrics are bit-identical for any shard count.
@@ -16,9 +18,41 @@ import (
 	"log"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/locman"
 )
+
+// percent formats part as a percentage of whole, tolerating a zero whole.
+func percent(part, whole int64) string {
+	if whole == 0 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%.2f%%", 100*float64(part)/float64(whole))
+}
+
+// parseOutages parses the -outage flag: comma-separated start:end slot
+// windows.
+func parseOutages(s string) ([]locman.Outage, error) {
+	var out []locman.Outage
+	for _, w := range strings.Split(s, ",") {
+		start, end, ok := strings.Cut(w, ":")
+		if !ok {
+			return nil, fmt.Errorf("outage window %q is not start:end", w)
+		}
+		a, err := strconv.ParseInt(strings.TrimSpace(start), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("outage window %q: %v", w, err)
+		}
+		b, err := strconv.ParseInt(strings.TrimSpace(end), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("outage window %q: %v", w, err)
+		}
+		out = append(out, locman.Outage{Start: a, End: b})
+	}
+	return out, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,6 +70,16 @@ func main() {
 	dynamic := flag.Bool("dynamic", false, "per-terminal online estimation and re-optimization")
 	hetero := flag.Bool("hetero", false, "heterogeneous population (per-terminal q varies ±50%)")
 	loss := flag.Float64("loss", 0, "update-message loss probability (failure injection)")
+	pollLoss := flag.Float64("poll-loss", 0, "downlink paging-poll loss probability")
+	replyLoss := flag.Float64("reply-loss", 0, "uplink paging-reply loss probability")
+	updateRetries := flag.Int("update-retries", 0,
+		"acked-update retransmission budget (0 = fire-and-forget updates)")
+	ackTimeout := flag.Int64("ack-timeout", 0,
+		"first retransmission timeout in scheduler ticks (0 = default, doubles per retry)")
+	pageRetries := flag.Int("page-retries", 0,
+		"recovery paging rounds before a call is dropped (0 = default)")
+	outages := flag.String("outage", "",
+		"HLR outage windows in slots, e.g. 1000:2000 or 1000:2000,5000:5500")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0),
 		"parallel simulation shards (results are identical for any shard count)")
@@ -59,11 +103,25 @@ func main() {
 			PollCost:   *v,
 			MaxDelay:   *m,
 		},
-		Terminals:      *terminals,
-		Threshold:      *threshold,
-		Dynamic:        *dynamic,
-		UpdateLossProb: *loss,
-		Seed:           *seed,
+		Terminals: *terminals,
+		Threshold: *threshold,
+		Dynamic:   *dynamic,
+		Faults: locman.FaultPlan{
+			UpdateLoss:    *loss,
+			PollLoss:      *pollLoss,
+			ReplyLoss:     *replyLoss,
+			UpdateRetries: *updateRetries,
+			AckTimeout:    *ackTimeout,
+			PageRetries:   *pageRetries,
+		},
+		Seed: *seed,
+	}
+	if *outages != "" {
+		windows, err := parseOutages(*outages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults.Outages = windows
 	}
 	if *hetero {
 		base := *q
@@ -84,11 +142,19 @@ func main() {
 	fmt.Printf("calls            %d (replies: %d bytes)\n", metrics.Calls, metrics.ReplyBytes)
 	fmt.Printf("polled cells     %d (%d bytes)\n", metrics.PolledCells, metrics.PollBytes)
 	fmt.Printf("paging failures  %d\n", metrics.NotFound)
-	if *loss > 0 {
-		fmt.Printf("lost updates     %d (%.1f%% of sent)\n", metrics.LostUpdates,
-			100*float64(metrics.LostUpdates)/float64(metrics.Updates))
-		fmt.Printf("fallback pages   %d (%.2f%% of calls)\n", metrics.FallbackCalls,
-			100*float64(metrics.FallbackCalls)/float64(metrics.Calls))
+	fmt.Printf("lost updates     %d (%s of sent)\n", metrics.LostUpdates,
+		percent(metrics.LostUpdates, metrics.Updates))
+	fmt.Printf("lost polls       %d   lost replies %d\n", metrics.LostPolls, metrics.LostReplies)
+	fmt.Printf("retransmissions  %d (acks: %d, %d bytes)\n",
+		metrics.Retransmissions, metrics.Acks, metrics.AckBytes)
+	fmt.Printf("fallback pages   %d (%s of calls)   re-poll rounds %d\n",
+		metrics.FallbackCalls, percent(metrics.FallbackCalls, metrics.Calls), metrics.RePolls)
+	fmt.Printf("dropped calls    %d (%s of calls)\n", metrics.DroppedCalls,
+		percent(metrics.DroppedCalls, metrics.Calls))
+	fmt.Printf("outage deferred  %d registrations\n", metrics.OutageDeferred)
+	if metrics.Recovery.N() > 0 {
+		fmt.Printf("recovery latency %.2f slots mean, %.0f worst (%d episodes)\n",
+			metrics.Recovery.Mean(), metrics.Recovery.Max(), metrics.Recovery.N())
 	}
 	fmt.Printf("mean delay       %.3f polling cycles (worst observed %.0f)\n",
 		metrics.Delay.Mean(), metrics.Delay.Max())

@@ -8,14 +8,14 @@ import (
 )
 
 func TestLossZeroIdenticalToBaseline(t *testing.T) {
-	// UpdateLossProb = 0 must not perturb the RNG stream or any metric.
+	// FaultPlan{UpdateLoss: 0} must not perturb the RNG stream or any metric.
 	cfg := baseConfig(chain.TwoDimExact, 0.1, 0.02, 2, 3)
 	a, err := Run(cfg, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	withZero := cfg
-	withZero.UpdateLossProb = 0
+	withZero.Faults.UpdateLoss = 0
 	b, err := Run(withZero, 100_000)
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +36,7 @@ func TestLossInjectionRecoversAndCosts(t *testing.T) {
 		t.Fatal(err)
 	}
 	lossy := cfg
-	lossy.UpdateLossProb = 0.3
+	lossy.Faults.UpdateLoss = 0.3
 	got, err := Run(lossy, 400_000)
 	if err != nil {
 		t.Fatal(err)
@@ -46,16 +46,25 @@ func TestLossInjectionRecoversAndCosts(t *testing.T) {
 	if math.Abs(rate-0.3) > 0.03 {
 		t.Errorf("loss rate %v, want ≈ 0.3", rate)
 	}
-	// Some pages missed the nominal plan and fell back — but every call
-	// was still resolved (no NotFound) and every fallback was counted.
+	// Some pages missed the nominal plan and escalated — and every call
+	// was either resolved or (past the retry budget) explicitly dropped,
+	// never lost to a NotFound mechanism failure.
 	if got.FallbackCalls == 0 {
 		t.Error("no fallback pages despite 30% update loss")
 	}
-	if got.NotFound != 0 {
-		t.Errorf("%d unresolved calls", got.NotFound)
+	if got.RePolls == 0 {
+		t.Error("no recovery rounds despite fallback pages")
 	}
-	if int64(got.Delay.N()) != got.Calls {
-		t.Errorf("delay samples %d != calls %d", got.Delay.N(), got.Calls)
+	if got.NotFound != 0 {
+		t.Errorf("%d unresolved calls outside the recovery machinery", got.NotFound)
+	}
+	if int64(got.Delay.N())+got.DroppedCalls != got.Calls {
+		t.Errorf("delay samples %d + dropped %d != calls %d",
+			got.Delay.N(), got.DroppedCalls, got.Calls)
+	}
+	// Every desync episode that ended left a recovery-latency sample.
+	if got.Recovery.N() == 0 {
+		t.Error("no recovery-latency samples despite lost updates")
 	}
 	// Loss makes paging strictly more expensive on average.
 	if got.PagingCost <= clean.PagingCost {
@@ -67,12 +76,12 @@ func TestLossInjectionRecoversAndCosts(t *testing.T) {
 }
 
 func TestLossSensitivityMonotone(t *testing.T) {
-	// More loss → more fallback work → higher paging cost.
+	// More loss → more recovery work → higher paging cost.
 	cfg := baseConfig(chain.TwoDimExact, 0.1, 0.02, 2, 2)
 	prev := -1.0
 	for _, loss := range []float64{0, 0.2, 0.5, 0.8} {
 		c := cfg
-		c.UpdateLossProb = loss
+		c.Faults.UpdateLoss = loss
 		m, err := Run(c, 300_000)
 		if err != nil {
 			t.Fatal(err)
@@ -88,12 +97,12 @@ func TestLossSensitivityMonotone(t *testing.T) {
 }
 
 func TestLossWithDynamicThresholds(t *testing.T) {
-	// Dynamic re-optimization updates can be lost too; the fallback must
-	// keep the system consistent.
+	// Dynamic re-optimization updates can be lost too; the recovery
+	// machinery must keep the system consistent.
 	cfg := baseConfig(chain.TwoDimExact, 0.2, 0.02, 2, 1)
 	cfg.Dynamic = true
 	cfg.ReoptimizeEvery = 500
-	cfg.UpdateLossProb = 0.5
+	cfg.Faults.UpdateLoss = 0.5
 	m, err := Run(cfg, 100_000)
 	if err != nil {
 		t.Fatal(err)
@@ -101,13 +110,17 @@ func TestLossWithDynamicThresholds(t *testing.T) {
 	if m.NotFound != 0 {
 		t.Errorf("%d unresolved calls under loss + dynamic thresholds", m.NotFound)
 	}
+	if int64(m.Delay.N())+m.DroppedCalls != m.Calls {
+		t.Errorf("delay samples %d + dropped %d != calls %d",
+			m.Delay.N(), m.DroppedCalls, m.Calls)
+	}
 }
 
 func TestLossValidation(t *testing.T) {
 	cfg := baseConfig(chain.OneDim, 0.1, 0.05, 1, 1)
 	for _, bad := range []float64{-0.1, 1.0, 1.5} {
 		c := cfg
-		c.UpdateLossProb = bad
+		c.Faults.UpdateLoss = bad
 		if _, err := Run(c, 100); err == nil {
 			t.Errorf("loss %v accepted", bad)
 		}

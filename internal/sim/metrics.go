@@ -24,18 +24,46 @@ type Metrics struct {
 	// UpdateCost, PagingCost and TotalCost are per-slot per-terminal
 	// averages in the paper's U/V units, comparable to core.Breakdown.
 	UpdateCost, PagingCost, TotalCost float64
-	// NotFound counts paging failures. The distance-update invariant
-	// guarantees the terminal is inside its residing area, so any nonzero
-	// value indicates a mechanism bug (lossy-update misses are counted as
-	// FallbackCalls instead and always recover).
+	// NotFound counts paging failures outside the recovery machinery. The
+	// fault subsystem converts every plan miss into recovery rounds and,
+	// past the retry budget, DroppedCalls, so any nonzero value indicates
+	// a mechanism bug. It is retained so regressions surface as a counter
+	// rather than a panic.
 	NotFound int64
-	// LostUpdates counts update messages dropped by the injected
-	// signalling loss (Config.UpdateLossProb).
+	// LostUpdates counts update transmissions (including retransmissions)
+	// dropped by the injected uplink loss (FaultPlan.UpdateLoss).
 	LostUpdates int64
-	// FallbackCalls counts calls whose nominal residing-area plan missed
-	// (possible only under update loss) and were resolved by the
-	// expanding-ring fallback search.
+	// LostPolls counts paging polls that failed to reach the terminal's
+	// cell (FaultPlan.PollLoss); LostReplies counts paging replies dropped
+	// on the uplink (FaultPlan.ReplyLoss).
+	LostPolls, LostReplies int64
+	// FallbackCalls counts calls whose nominal residing-area plan could
+	// not contain the terminal (drift after lost or outage-deferred
+	// updates) and escalated to the expanding recovery rounds.
 	FallbackCalls int64
+	// Retransmissions counts acked-update retransmissions triggered by
+	// ack timeouts (FaultPlan.UpdateRetries).
+	Retransmissions int64
+	// Acks counts HLR acknowledgements sent for applied updates, and
+	// AckBytes their wire bytes.
+	Acks     int64
+	AckBytes int64
+	// RePolls counts recovery paging rounds: blanket re-polls of the
+	// (expanding) residing area after the nominal plan came up empty.
+	RePolls int64
+	// DroppedCalls counts calls abandoned after the paging retry budget
+	// (FaultPlan.PageRetries) was exhausted; dropped calls contribute no
+	// delay sample, so Delay.N() == Calls − DroppedCalls.
+	DroppedCalls int64
+	// OutageDeferred counts updates that reached the HLR during a
+	// scheduled outage window (FaultPlan.Outages) and were not applied.
+	OutageDeferred int64
+	// Recovery is the HLR desync→recovery latency in slots: one sample
+	// per episode in which the network's record diverged from the
+	// terminal's view (lost or outage-deferred update) and later
+	// re-synced (successful update or page re-center). Aggregated over
+	// terminals in id order, like Delay.
+	Recovery stats.Accumulator
 	// ThresholdSlots[d] counts terminal-slots spent operating at
 	// threshold d (interesting under Dynamic).
 	ThresholdSlots map[int]int64
@@ -59,6 +87,9 @@ type TerminalStats struct {
 	Updates, Calls, PolledCells int64
 	// Delay is this terminal's per-call paging delay in polling cycles.
 	Delay stats.Accumulator
+	// Recovery holds this terminal's desync→recovery latency samples in
+	// slots (see Metrics.Recovery).
+	Recovery stats.Accumulator
 	// TotalCost is the terminal's per-slot average cost in U/V units.
 	TotalCost float64
 	// FinalThreshold is the threshold in effect when the run ended.
@@ -92,7 +123,15 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.ReplyBytes += o.ReplyBytes
 	m.NotFound += o.NotFound
 	m.LostUpdates += o.LostUpdates
+	m.LostPolls += o.LostPolls
+	m.LostReplies += o.LostReplies
 	m.FallbackCalls += o.FallbackCalls
+	m.Retransmissions += o.Retransmissions
+	m.Acks += o.Acks
+	m.AckBytes += o.AckBytes
+	m.RePolls += o.RePolls
+	m.DroppedCalls += o.DroppedCalls
+	m.OutageDeferred += o.OutageDeferred
 	m.Events += o.Events
 	if len(o.ThresholdSlots) > 0 && m.ThresholdSlots == nil {
 		m.ThresholdSlots = make(map[int]int64, len(o.ThresholdSlots))
@@ -113,8 +152,10 @@ func (m *Metrics) Merge(o *Metrics) {
 // per-slot cost averages.
 func (m *Metrics) recompute() {
 	m.Delay = stats.Accumulator{}
+	m.Recovery = stats.Accumulator{}
 	for i := range m.PerTerminal {
 		m.Delay.Merge(&m.PerTerminal[i].Delay)
+		m.Recovery.Merge(&m.PerTerminal[i].Recovery)
 	}
 	denom := float64(m.Slots) * float64(m.Terminals)
 	if denom == 0 {

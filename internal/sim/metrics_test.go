@@ -31,6 +31,21 @@ func shardMetrics(slots int64, ids ...int) *Metrics {
 	return m
 }
 
+// faultShardMetrics is shardMetrics with every fault-subsystem counter set
+// to one per terminal and one recovery episode of two slots each.
+func faultShardMetrics(slots int64, ids ...int) *Metrics {
+	m := shardMetrics(slots, ids...)
+	for i := range m.PerTerminal {
+		m.PerTerminal[i].Recovery.Add(2)
+	}
+	n := int64(len(ids))
+	m.LostUpdates, m.LostPolls, m.LostReplies = n, n, n
+	m.Retransmissions, m.Acks, m.AckBytes = n, n, n
+	m.RePolls, m.DroppedCalls, m.OutageDeferred = n, n, n
+	m.recompute()
+	return m
+}
+
 func TestMetricsMerge(t *testing.T) {
 	for _, tc := range []struct {
 		name   string
@@ -114,6 +129,36 @@ func TestMetricsMerge(t *testing.T) {
 					if ts.ID != i {
 						t.Errorf("record %d has id %d", i, ts.ID)
 					}
+				}
+			},
+		},
+		{
+			name: "fault counters and recovery latency reduce across shards",
+			into: &Metrics{},
+			merge: []*Metrics{
+				faultShardMetrics(50, 0, 1),
+				faultShardMetrics(50, 2),
+			},
+			verify: func(t *testing.T, m *Metrics) {
+				for name, got := range map[string]int64{
+					"LostUpdates":     m.LostUpdates,
+					"LostPolls":       m.LostPolls,
+					"LostReplies":     m.LostReplies,
+					"Retransmissions": m.Retransmissions,
+					"Acks":            m.Acks,
+					"AckBytes":        m.AckBytes,
+					"RePolls":         m.RePolls,
+					"DroppedCalls":    m.DroppedCalls,
+					"OutageDeferred":  m.OutageDeferred,
+				} {
+					if got != 3 {
+						t.Errorf("%s = %d, want 3", name, got)
+					}
+				}
+				// One 2-slot recovery episode per terminal, re-reduced
+				// from the per-terminal accumulators in id order.
+				if m.Recovery.N() != 3 || m.Recovery.Mean() != 2 {
+					t.Errorf("recovery %v, want 3 samples of mean 2", m.Recovery)
 				}
 			},
 		},

@@ -74,33 +74,115 @@ func (n *network) scheme() paging.Scheme {
 	return n.cfg.Core.Scheme
 }
 
-// sendUpdate transmits an uplink location-update message from t: the
-// terminal pays for the transmission (cost and bytes) unconditionally; the
-// message reaches the HLR unless the injected signalling loss drops it.
-// Stale sequence numbers are discarded on delivery.
+// inOutage reports whether the HLR is inside a scheduled outage window at
+// the current virtual time.
+func (n *network) inOutage() bool {
+	if len(n.cfg.Faults.Outages) == 0 {
+		return false
+	}
+	return n.cfg.Faults.covers(int64(n.sched.Now() / SlotTicks))
+}
+
+// markDesynced stamps the onset of an HLR divergence: the terminal's own
+// view of its record no longer matches what the network holds.
+func (n *network) markDesynced(t *terminal) {
+	if !t.desynced {
+		t.desynced = true
+		t.desyncedAt = n.sched.Now()
+	}
+}
+
+// markSynced closes a divergence episode, recording its duration in slots
+// on the terminal's recovery-latency accumulator (folded in id order at
+// merge time, like the delay accumulator).
+func (n *network) markSynced(t *terminal) {
+	if t.desynced {
+		t.desynced = false
+		n.term(t.id).Recovery.Add(float64(n.sched.Now()-t.desyncedAt) / SlotTicks)
+	}
+}
+
+// sendUpdate starts a fresh location-update exchange for t. With
+// FaultPlan.UpdateRetries > 0 the exchange is acked: a transmission that
+// draws no wire.Ack is retransmitted after a timeout with exponential
+// backoff until the retry budget runs out, leaving the terminal desynced
+// until the next page re-centers it. With a zero budget updates stay the
+// paper's fire-and-forget datagrams.
 func (n *network) sendUpdate(t *terminal) {
+	t.retries = 0
+	n.transmitUpdate(t)
+}
+
+// transmitUpdate performs one uplink transmission of t's current location:
+// the terminal pays for the transmission (cost and bytes) unconditionally;
+// the message reaches the HLR unless the injected signalling loss drops
+// it, and is applied unless a scheduled outage window is open. Stale
+// sequence numbers are discarded on delivery.
+func (n *network) transmitUpdate(t *terminal) {
 	u := t.makeUpdate()
+	// Sending an update (re)centers the terminal's own view on the
+	// reported cell, whatever becomes of the message in transit.
+	t.center = t.pos
 	n.scratch = u.Encode(n.scratch[:0])
 	n.metrics.Updates++
 	n.term(u.Terminal).Updates++
 	n.metrics.UpdateBytes += int64(len(n.scratch))
-	if n.cfg.UpdateLossProb > 0 && t.rng.Bernoulli(n.cfg.UpdateLossProb) {
+
+	applied := false
+	if n.cfg.Faults.UpdateLoss > 0 && t.rng.Bernoulli(n.cfg.Faults.UpdateLoss) {
 		n.metrics.LostUpdates++
-		return
+	} else if n.inOutage() {
+		// Delivered, but the HLR is down for maintenance: the
+		// registration is not applied and no ack is produced.
+		n.metrics.OutageDeferred++
+	} else {
+		dec, err := wire.DecodeUpdate(n.scratch)
+		if err != nil {
+			panic(fmt.Sprintf("sim: self-encoded update failed to decode: %v", err))
+		}
+		if rec, ok := n.hlr[dec.Terminal]; !ok || dec.Seq > rec.seq {
+			n.hlr[dec.Terminal] = hlrRecord{
+				center:    dec.Cell,
+				seq:       dec.Seq,
+				threshold: int(dec.Threshold),
+			}
+		}
+		applied = true
+		if n.cfg.Faults.UpdateRetries > 0 {
+			// The HLR acknowledges the registration; the downlink ack
+			// rides the paging channel and is modeled as reliable.
+			ack := wire.Ack{Terminal: dec.Terminal, Seq: dec.Seq}
+			n.scratch = ack.Encode(n.scratch[:0])
+			n.metrics.Acks++
+			n.metrics.AckBytes += int64(len(n.scratch))
+			t.ackedSeq = dec.Seq
+		}
 	}
-	dec, err := wire.DecodeUpdate(n.scratch)
-	if err != nil {
-		panic(fmt.Sprintf("sim: self-encoded update failed to decode: %v", err))
+	if applied {
+		n.markSynced(t)
+	} else {
+		n.markDesynced(t)
 	}
-	rec, ok := n.hlr[dec.Terminal]
-	if ok && dec.Seq <= rec.seq {
-		return // stale or duplicate
+	if n.cfg.Faults.UpdateRetries > 0 && t.ackedSeq < u.Seq {
+		seq := u.Seq
+		n.sched.After(n.cfg.Faults.ackBackoff(t.retries), func() { n.ackTimeout(t, seq) })
 	}
-	n.hlr[dec.Terminal] = hlrRecord{
-		center:    dec.Cell,
-		seq:       dec.Seq,
-		threshold: int(dec.Threshold),
+}
+
+// ackTimeout fires when the retransmission timer for the update carrying
+// seq expires: if the exchange is still pending (not acked, not superseded
+// by a newer update) and budget remains, the terminal retransmits its
+// current location with the next backoff step.
+func (n *network) ackTimeout(t *terminal, seq uint32) {
+	if t.ackedSeq >= seq || t.seq != seq {
+		return // acked, or superseded by a newer exchange
 	}
+	if t.retries >= n.cfg.Faults.UpdateRetries {
+		return // budget exhausted: desynced until the next page re-centers
+	}
+	t.retries++
+	n.metrics.Retransmissions++
+	n.transmitUpdate(t)
 }
 
 // register stores a terminal's initial location without charging it as a
@@ -109,10 +191,74 @@ func (n *network) register(u wire.Update) {
 	n.hlr[u.Terminal] = hlrRecord{center: u.Cell, seq: u.Seq, threshold: int(u.Threshold)}
 }
 
+// pollHeard reports whether a poll broadcast covering t's current cell
+// actually reaches it, drawing the injected downlink loss from the
+// terminal's own stream.
+func (n *network) pollHeard(t *terminal) bool {
+	if n.cfg.Faults.PollLoss > 0 && t.rng.Bernoulli(n.cfg.Faults.PollLoss) {
+		n.metrics.LostPolls++
+		return false
+	}
+	return true
+}
+
+// replyDelivered transmits t's paging reply (the terminal pays the bytes
+// unconditionally) and, unless the injected uplink loss drops it, delivers
+// it to the HLR, which re-centers the record on the replied cell.
+func (n *network) replyDelivered(t *terminal, call uint32) bool {
+	reply := wire.Reply{Terminal: t.id, Cell: t.pos, Call: call}
+	n.scratch = reply.Encode(n.scratch[:0])
+	n.metrics.ReplyBytes += int64(len(n.scratch))
+	if n.cfg.Faults.ReplyLoss > 0 && t.rng.Bernoulli(n.cfg.Faults.ReplyLoss) {
+		n.metrics.LostReplies++
+		return false
+	}
+	dec, err := wire.DecodeReply(n.scratch)
+	if err != nil {
+		panic(fmt.Sprintf("sim: self-encoded reply failed to decode: %v", err))
+	}
+	r := n.hlr[t.id]
+	r.center = dec.Cell
+	n.hlr[t.id] = r
+	return true
+}
+
+// pageSuccess finishes a resolved call after cycles polling cycles: the
+// terminal heard its poll and its reply got through, so both sides
+// re-center and any desync episode ends. The delay lands on the terminal's
+// own accumulator; the aggregate is folded in id order at merge time so it
+// is independent of the shard count.
+func (n *network) pageSuccess(t *terminal, cycles int) {
+	t.center = t.pos
+	n.term(t.id).Delay.Add(float64(cycles))
+	n.markSynced(t)
+}
+
+// diskCells counts the cells within the given ring radius of a center.
+func (n *network) diskCells(radius int) int {
+	kind := n.cfg.Core.Model.Grid()
+	cells := 0
+	for r := 0; r <= radius; r++ {
+		cells += kind.RingSize(r)
+	}
+	return cells
+}
+
 // page handles an incoming call for terminal t: poll the residing area
 // subarea by subarea, one polling cycle each, until the terminal replies.
 // Cycle j's polls go out at tick 2j−1 of the exchange and its reply (or
 // timeout) resolves at tick 2j, all within the arrival slot.
+//
+// With a perfect signalling plane the nominal plan always answers within
+// the delay bound: the distance-update invariant keeps the terminal inside
+// its residing area and every poll/reply round-trip succeeds. Injected
+// faults break both halves, so a plan that comes up empty escalates to
+// recovery rounds (see the round closure): round r blanket-polls every
+// cell within radius threshold+r of the registered center, re-covering
+// in-area terminals whose poll or reply was lost and expanding ring by
+// ring toward terminals that drifted out after lost updates. A call still
+// unanswered after FaultPlan.PageRetries rounds is dropped and counted in
+// Metrics.DroppedCalls — never a NotFound panic.
 func (n *network) page(t *terminal) {
 	rec, ok := n.hlr[t.id]
 	if !ok {
@@ -125,21 +271,54 @@ func (n *network) page(t *terminal) {
 	n.metrics.Calls++
 	n.term(t.id).Calls++
 
-	// Without update loss the residing-area invariant holds: the terminal
-	// is never farther than the registered threshold from the registered
-	// center. A lost update breaks it; the nominal plan then polls empty
-	// and an expanding ring search takes over.
-	if ring >= len(info.ringSubarea) {
-		n.fallbackPage(t, rec, ring, info)
-		return
+	// target is the subarea whose polls reach the terminal, or −1 when
+	// the registered record cannot contain it (drift after lost or
+	// outage-deferred updates): the nominal plan then polls empty and the
+	// recovery rounds take over.
+	target := -1
+	if ring < len(info.ringSubarea) {
+		target = info.ringSubarea[ring]
+	} else {
+		n.metrics.FallbackCalls++
 	}
-	target := info.ringSubarea[ring]
+
+	// round r > 0 is one recovery paging round; see the method comment.
+	var round func(r int)
+	round = func(r int) {
+		if r > n.cfg.Faults.PageRetries {
+			n.metrics.DroppedCalls++
+			return
+		}
+		n.metrics.RePolls++
+		radius := rec.threshold + r
+		cells := n.diskCells(radius)
+		cyc := uint8(255)
+		if c := len(info.part) + r; c <= 255 {
+			cyc = uint8(c)
+		}
+		poll := wire.Poll{Terminal: t.id, Cell: rec.center, Call: call, Cycle: cyc}
+		n.scratch = poll.Encode(n.scratch[:0])
+		n.metrics.PolledCells += int64(cells)
+		n.term(t.id).PolledCells += int64(cells)
+		n.metrics.PollBytes += int64(cells * len(n.scratch))
+		if ring <= radius && n.pollHeard(t) {
+			n.sched.After(1, func() {
+				if n.replyDelivered(t, call) {
+					n.pageSuccess(t, len(info.part)+r)
+					return
+				}
+				n.sched.After(1, func() { round(r + 1) })
+			})
+			return
+		}
+		n.sched.After(2, func() { round(r + 1) })
+	}
 
 	var cycle func(j int)
 	cycle = func(j int) {
 		if j >= len(info.part) {
-			// Exhausted all subareas without a reply: mechanism bug.
-			n.metrics.NotFound++
+			// Exhausted all subareas without a reply: recovery rounds.
+			round(1)
 			return
 		}
 		sub := info.part[j]
@@ -155,28 +334,16 @@ func (n *network) page(t *terminal) {
 		n.metrics.PolledCells += int64(sub.Cells)
 		n.term(t.id).PolledCells += int64(sub.Cells)
 		n.metrics.PollBytes += int64(sub.Cells * len(n.scratch))
-		if j == target {
+		if j == target && n.pollHeard(t) {
 			// The terminal hears the poll in its cell and replies one
-			// tick later; the HLR re-centers on the replied cell.
+			// tick later; if the reply survives the uplink, the HLR
+			// re-centers on the replied cell and the call resolves.
 			n.sched.After(1, func() {
-				reply := wire.Reply{Terminal: t.id, Cell: t.pos, Call: call}
-				n.scratch = reply.Encode(n.scratch[:0])
-				n.metrics.ReplyBytes += int64(len(n.scratch))
-				dec, err := wire.DecodeReply(n.scratch)
-				if err != nil {
-					panic(fmt.Sprintf("sim: self-encoded reply failed to decode: %v", err))
+				if n.replyDelivered(t, call) {
+					n.pageSuccess(t, j+1)
+					return
 				}
-				r := n.hlr[t.id]
-				r.center = dec.Cell
-				n.hlr[t.id] = r
-				// The terminal heard its own poll and answered: both
-				// sides re-center, restoring the invariant even after
-				// lost updates.
-				t.center = t.pos
-				// Record the delay on the terminal's own accumulator;
-				// the aggregate is folded in id order at merge time so
-				// it is independent of the shard count.
-				n.term(t.id).Delay.Add(float64(j + 1))
+				n.sched.After(1, func() { cycle(j + 1) })
 			})
 			return
 		}
@@ -184,38 +351,6 @@ func (n *network) page(t *terminal) {
 		n.sched.After(2, func() { cycle(j + 1) })
 	}
 	n.sched.After(1, func() { cycle(0) })
-}
-
-// fallbackPage resolves a call whose nominal residing-area plan cannot
-// contain the terminal (its true ring distance exceeds the registered
-// threshold after a lost update): the network polls the entire nominal
-// plan, then expands ring by ring beyond it until the terminal answers.
-// The search always terminates — the terminal's displacement is finite —
-// and both sides re-center afterwards. Cells and cycles are accounted in
-// one event (the expanding search is bounded by the drift since the last
-// successful sync, which stays tiny at realistic loss rates).
-func (n *network) fallbackPage(t *terminal, rec hlrRecord, ring int, info partInfo) {
-	n.metrics.FallbackCalls++
-	kind := n.cfg.Core.Model.Grid()
-	cells := 0
-	for _, sub := range info.part {
-		cells += sub.Cells
-	}
-	for r := rec.threshold + 1; r <= ring; r++ {
-		cells += kind.RingSize(r)
-	}
-	cycles := len(info.part) + (ring - rec.threshold)
-	n.sched.After(1, func() {
-		n.metrics.PolledCells += int64(cells)
-		n.term(t.id).PolledCells += int64(cells)
-		n.metrics.PollBytes += int64(cells * wire.PollSize)
-		n.metrics.ReplyBytes += wire.ReplySize
-		n.term(t.id).Delay.Add(float64(cycles))
-		r := n.hlr[t.id]
-		r.center = t.pos
-		n.hlr[t.id] = r
-		t.center = t.pos
-	})
 }
 
 // reoptimize recomputes terminal t's threshold from its online estimates

@@ -77,14 +77,18 @@ func validate(cfg Config, slots int64) error {
 	if slots <= 0 {
 		return errors.New("sim: slots must be positive")
 	}
-	if cfg.UpdateLossProb < 0 || cfg.UpdateLossProb >= 1 {
-		return fmt.Errorf("sim: update loss probability %v outside [0,1)", cfg.UpdateLossProb)
+	if err := cfg.Faults.validate(); err != nil {
+		return err
 	}
 	if cfg.Threshold > cfg.MaxThreshold {
 		return fmt.Errorf("sim: threshold %d exceeds MaxThreshold %d", cfg.Threshold, cfg.MaxThreshold)
 	}
-	if 2*(cfg.MaxThreshold+2) >= SlotTicks {
-		return fmt.Errorf("sim: MaxThreshold %d needs more polling ticks than a slot holds (%d)", cfg.MaxThreshold, SlotTicks)
+	// A full paging exchange — the nominal plan (at most MaxThreshold+2
+	// cycles) plus every recovery round — must finish inside the arrival
+	// slot, or paging would overlap the next movement opportunity.
+	if 2*(cfg.MaxThreshold+2+cfg.Faults.PageRetries) >= SlotTicks {
+		return fmt.Errorf("sim: MaxThreshold %d with %d paging retries needs more polling ticks than a slot holds (%d)",
+			cfg.MaxThreshold, cfg.Faults.PageRetries, SlotTicks)
 	}
 	return nil
 }
@@ -146,8 +150,9 @@ func runShard(cfg Config, slots int64, lo, hi, startD int, loc locator) (*Metric
 		terms[g-lo] = t
 		n.metrics.PerTerminal[g-lo].ID = g
 		// Initial registration (subscription-time provisioning, not a
-		// mechanism update).
+		// mechanism update, so it is implicitly acknowledged).
 		n.register(t.makeUpdate())
+		t.ackedSeq = t.seq
 	}
 
 	var sched des.Scheduler

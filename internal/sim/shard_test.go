@@ -23,7 +23,7 @@ func shardCounts() []int {
 func TestRunShardedShardCountInvariant(t *testing.T) {
 	cfg := baseConfig(chain.TwoDimExact, 0.15, 0.03, 2, 3)
 	cfg.Terminals = 12
-	cfg.UpdateLossProb = 0.2
+	cfg.Faults.UpdateLoss = 0.2
 	const slots = 4_000
 
 	want, err := Run(cfg, slots)
@@ -147,7 +147,7 @@ func TestRunShardedErrors(t *testing.T) {
 		{"very negative shards", func(*Config) {}, 100, -64},
 		{"zero slots", func(*Config) {}, 0, 2},
 		{"invalid params", func(c *Config) { c.Core.Params = chain.Params{Q: 0.9, C: 0.9} }, 100, 2},
-		{"loss out of range", func(c *Config) { c.UpdateLossProb = 1.5 }, 100, 2},
+		{"loss out of range", func(c *Config) { c.Faults.UpdateLoss = 1.5 }, 100, 2},
 		{"threshold above max", func(c *Config) { c.Threshold = 100 }, 100, 2},
 		{"bad per-terminal params", func(c *Config) {
 			c.PerTerminal = func(i int) chain.Params {

@@ -20,6 +20,7 @@ package sim
 import (
 	"repro/internal/chain"
 	"repro/internal/core"
+	"repro/internal/des"
 	"repro/internal/grid"
 	"repro/internal/stats"
 	"repro/internal/wire"
@@ -60,15 +61,11 @@ type Config struct {
 	// terminal i, overriding Core.Params (used by the dynamic scheme
 	// examples: the network cannot know individual behaviour a priori).
 	PerTerminal func(i int) chain.Params
-	// UpdateLossProb injects signalling failures: each location-update
-	// message is lost in transit with this probability. The terminal
-	// (unaware — updates are unacknowledged datagrams) re-centers its own
-	// residing area anyway, so the HLR's view drifts until the next
-	// successful update or page. Paging that misses the nominal residing
-	// area falls back to an expanding ring search, which always succeeds
-	// but costs extra cells and cycles — quantifying the mechanism's
-	// sensitivity to update loss, something the paper's analysis cannot.
-	UpdateLossProb float64
+	// Faults injects signalling-plane failures (update/poll/reply loss,
+	// HLR outage windows) and configures the recovery machinery (acked
+	// updates with retransmission, recovery paging rounds). The zero
+	// value is the paper's perfect signalling plane. See FaultPlan.
+	Faults FaultPlan
 	// Seed seeds the simulation's deterministic RNG streams: terminal i
 	// draws from stats.SubStream(Seed, i), so its stream depends only on
 	// (Seed, i) — never on the population size ordering or the shard
@@ -88,6 +85,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxThreshold == 0 {
 		c.MaxThreshold = 50
+	}
+	if c.Faults.AckTimeout == 0 {
+		c.Faults.AckTimeout = DefaultAckTimeout
+	}
+	if c.Faults.PageRetries == 0 {
+		c.Faults.PageRetries = DefaultPageRetries
 	}
 	return c
 }
@@ -171,13 +174,24 @@ type terminal struct {
 	est    estimator
 	// center is the terminal's own view of its center cell. It matches
 	// the HLR record exactly unless an update message was lost in
-	// transit (Config.UpdateLossProb).
+	// transit or deferred by an HLR outage (Config.Faults).
 	center wire.Cell
 	// threshold is the terminal's own view of d; the HLR learns it from
 	// update messages.
 	threshold int
 	seq       uint32
 	moveProb  float64 // q/(1−c), cached
+	// ackedSeq is the highest update sequence number the HLR has
+	// acknowledged (meaningful only with FaultPlan.UpdateRetries > 0).
+	ackedSeq uint32
+	// retries counts retransmissions spent on the pending update
+	// exchange; it resets when a fresh exchange starts.
+	retries int
+	// desynced marks that the HLR's record has diverged from the
+	// terminal's own view (a lost or outage-deferred update);
+	// desyncedAt stamps its onset for the recovery-latency metric.
+	desynced   bool
+	desyncedAt des.Time
 }
 
 // Run simulates the network for the given number of slots on a single

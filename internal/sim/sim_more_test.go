@@ -52,14 +52,15 @@ func TestRunWithOptimalDPScheme(t *testing.T) {
 
 func TestRunMaxThresholdAtSlotCapacityBoundary(t *testing.T) {
 	// The largest MaxThreshold that still fits all polling ticks inside a
-	// slot must be accepted; one above must not.
+	// slot — nominal plan plus the (default) recovery paging rounds —
+	// must be accepted; one above must not.
 	ok := baseConfig(chain.OneDim, 0.1, 0.05, 0, 1)
-	ok.MaxThreshold = SlotTicks/2 - 3
+	ok.MaxThreshold = SlotTicks/2 - 3 - DefaultPageRetries
 	if _, err := Run(ok, 1000); err != nil {
 		t.Errorf("boundary MaxThreshold rejected: %v", err)
 	}
 	bad := ok
-	bad.MaxThreshold = SlotTicks/2 - 2
+	bad.MaxThreshold = SlotTicks/2 - 2 - DefaultPageRetries
 	if _, err := Run(bad, 1000); err == nil {
 		t.Error("over-capacity MaxThreshold accepted")
 	}

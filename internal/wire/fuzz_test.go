@@ -26,6 +26,11 @@ var (
 		{Terminal: 8, Cell: Cell{0, 0}, Call: 12},
 		{Terminal: ^uint32(0), Cell: Cell{1 << 30, -(1 << 30)}, Call: ^uint32(0)},
 	}
+	corpusAcks = []Ack{
+		{},
+		{Terminal: 6, Seq: 11},
+		{Terminal: ^uint32(0), Seq: ^uint32(0)},
+	}
 )
 
 // FuzzDecodeUpdate checks that arbitrary bytes never panic the decoder and
@@ -80,6 +85,65 @@ func FuzzDecodeReply(f *testing.F) {
 		re := r.Encode(nil)
 		if !bytes.Equal(re, data[:ReplySize]) {
 			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
+
+// FuzzDecodeAck is the ack-message analogue of the byte-level targets.
+func FuzzDecodeAck(f *testing.F) {
+	for _, a := range corpusAcks {
+		f.Add(a.Encode(nil))
+	}
+	f.Add([]byte{byte(TypeAck), 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAck(data)
+		if err != nil {
+			return
+		}
+		re := a.Encode(nil)
+		if !bytes.Equal(re, data[:AckSize]) {
+			t.Fatalf("re-encode mismatch")
+		}
+	})
+}
+
+// FuzzAckRoundTrip fuzzes over ack *fields* (every input is a valid
+// message by construction) and asserts the codec's round-trip law, the
+// Peek tag, and that the other decoders reject the ack framing — the ack
+// joined the protocol after the original three classes, so the
+// cross-decoder rejections are what a wire-compatibility regression would
+// break first.
+func FuzzAckRoundTrip(f *testing.F) {
+	for _, a := range corpusAcks {
+		f.Add(a.Terminal, a.Seq)
+	}
+	f.Fuzz(func(t *testing.T, term, seq uint32) {
+		a := Ack{Terminal: term, Seq: seq}
+		enc := a.Encode(nil)
+		if len(enc) != AckSize {
+			t.Fatalf("encoded %d bytes, want %d", len(enc), AckSize)
+		}
+		got, err := DecodeAck(enc)
+		if err != nil {
+			t.Fatalf("decode valid ack: %v", err)
+		}
+		if got != a {
+			t.Fatalf("round trip: %+v != %+v", got, a)
+		}
+		if tag, err := Peek(enc); err != nil || tag != TypeAck {
+			t.Fatalf("Peek = (%v, %v), want %v", tag, err, TypeAck)
+		}
+		// An ack must never be mistaken for the other message classes,
+		// even padded out to their lengths.
+		padded := append(enc, make([]byte, UpdateSize)...)
+		if _, err := DecodeUpdate(padded); err == nil {
+			t.Fatal("update decoder accepted an ack")
+		}
+		if _, err := DecodePoll(padded); err == nil {
+			t.Fatal("poll decoder accepted an ack")
+		}
+		if _, err := DecodeReply(padded); err == nil {
+			t.Fatal("reply decoder accepted an ack")
 		}
 	})
 }

@@ -25,6 +25,10 @@ const (
 	TypePoll MsgType = 0x02
 	// TypeReply is a terminal→network paging reply: "terminal T is here".
 	TypeReply MsgType = 0x03
+	// TypeAck is a network→terminal acknowledgement of a location update,
+	// turning updates into an acked exchange so the terminal can
+	// retransmit when the uplink loses its message or the HLR is down.
+	TypeAck MsgType = 0x04
 )
 
 // String names the message type.
@@ -36,6 +40,8 @@ func (t MsgType) String() string {
 		return "poll"
 	case TypeReply:
 		return "reply"
+	case TypeAck:
+		return "ack"
 	default:
 		return fmt.Sprintf("MsgType(0x%02x)", uint8(t))
 	}
@@ -52,6 +58,7 @@ const (
 	UpdateSize = 1 + 4 + 8 + 4 + 2 // tag, terminal, cell, seq, threshold
 	PollSize   = 1 + 4 + 8 + 4 + 1
 	ReplySize  = 1 + 4 + 8 + 4
+	AckSize    = 1 + 4 + 4 // tag, terminal, seq
 )
 
 // Update is the location-update message (paper Section 2.2: the terminal
@@ -185,6 +192,38 @@ func DecodeReply(b []byte) (Reply, error) {
 		Terminal: binary.BigEndian.Uint32(b[1:]),
 		Cell:     getCell(b[5:]),
 		Call:     binary.BigEndian.Uint32(b[13:]),
+	}, nil
+}
+
+// Ack is the network's acknowledgement of a location update: it echoes the
+// update's sequence number so the terminal can match it against its pending
+// exchange and stop retransmitting.
+type Ack struct {
+	Terminal uint32
+	// Seq echoes the acknowledged update's sequence number.
+	Seq uint32
+}
+
+// Encode appends the ack's wire form to dst and returns the result.
+func (a Ack) Encode(dst []byte) []byte {
+	var b [AckSize]byte
+	b[0] = byte(TypeAck)
+	binary.BigEndian.PutUint32(b[1:], a.Terminal)
+	binary.BigEndian.PutUint32(b[5:], a.Seq)
+	return append(dst, b[:]...)
+}
+
+// DecodeAck parses an ack message.
+func DecodeAck(b []byte) (Ack, error) {
+	if len(b) < AckSize {
+		return Ack{}, ErrShort
+	}
+	if MsgType(b[0]) != TypeAck {
+		return Ack{}, fmt.Errorf("%w: got %v, want %v", ErrType, MsgType(b[0]), TypeAck)
+	}
+	return Ack{
+		Terminal: binary.BigEndian.Uint32(b[1:]),
+		Seq:      binary.BigEndian.Uint32(b[5:]),
 	}, nil
 }
 

@@ -52,6 +52,21 @@ func TestReplyRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAckRoundTrip(t *testing.T) {
+	f := func(term uint32, seq uint32) bool {
+		in := Ack{Terminal: term, Seq: seq}
+		buf := in.Encode(nil)
+		if len(buf) != AckSize {
+			return false
+		}
+		out, err := DecodeAck(buf)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestEncodeAppends(t *testing.T) {
 	prefix := []byte{0xAA, 0xBB}
 	buf := Update{Terminal: 1}.Encode(prefix)
@@ -85,6 +100,12 @@ func TestDecodeShortBuffers(t *testing.T) {
 			t.Errorf("DecodeReply(%d bytes): %v", i, err)
 		}
 	}
+	a := Ack{Terminal: 7, Seq: 3}.Encode(nil)
+	for i := 0; i < AckSize; i++ {
+		if _, err := DecodeAck(a[:i]); !errors.Is(err, ErrShort) {
+			t.Errorf("DecodeAck(%d bytes): %v", i, err)
+		}
+	}
 }
 
 func TestDecodeTypeMismatch(t *testing.T) {
@@ -99,6 +120,13 @@ func TestDecodeTypeMismatch(t *testing.T) {
 	if _, err := DecodeReply(p); !errors.Is(err, ErrType) {
 		t.Errorf("reply from poll bytes: %v", err)
 	}
+	if _, err := DecodeAck(u); !errors.Is(err, ErrType) {
+		t.Errorf("ack from update bytes: %v", err)
+	}
+	a := Ack{Terminal: 9}.Encode(nil)
+	if _, err := DecodeUpdate(append(a, make([]byte, UpdateSize)...)); !errors.Is(err, ErrType) {
+		t.Errorf("update from ack bytes: %v", err)
+	}
 }
 
 func TestPeek(t *testing.T) {
@@ -112,6 +140,7 @@ func TestPeek(t *testing.T) {
 		{Update{}.Encode(nil), TypeUpdate},
 		{Poll{}.Encode(nil), TypePoll},
 		{Reply{}.Encode(nil), TypeReply},
+		{Ack{}.Encode(nil), TypeAck},
 	}
 	for _, tc := range cases {
 		got, err := Peek(tc.buf)
@@ -122,7 +151,8 @@ func TestPeek(t *testing.T) {
 }
 
 func TestMsgTypeString(t *testing.T) {
-	if TypeUpdate.String() != "update" || TypePoll.String() != "poll" || TypeReply.String() != "reply" {
+	if TypeUpdate.String() != "update" || TypePoll.String() != "poll" ||
+		TypeReply.String() != "reply" || TypeAck.String() != "ack" {
 		t.Error("known type names wrong")
 	}
 	if MsgType(0xFF).String() != "MsgType(0xff)" {

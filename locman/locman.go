@@ -271,10 +271,26 @@ type NetworkConfig struct {
 	// UpdateLossProb injects signalling failures: each location-update
 	// message is lost with this probability, forcing occasional
 	// expanding-ring fallback paging (see NetworkMetrics.FallbackCalls).
+	//
+	// Deprecated: set Faults.UpdateLoss instead, which it aliases; a
+	// nonzero UpdateLossProb is folded into Faults when Faults.UpdateLoss
+	// is zero.
 	UpdateLossProb float64
+	// Faults injects the full fault model — update/poll/reply loss, HLR
+	// outage windows — and configures the recovery machinery (acked
+	// updates with retransmission, recovery paging rounds, dropped-call
+	// accounting). The zero value is a perfect signalling plane.
+	Faults FaultPlan
 	// Seed seeds the deterministic simulation.
 	Seed uint64
 }
+
+// FaultPlan configures fault injection and recovery for the PCN system
+// simulation; see the sim package for field semantics.
+type FaultPlan = sim.FaultPlan
+
+// Outage is one scheduled HLR outage window in slots [Start, End).
+type Outage = sim.Outage
 
 // NetworkMetrics is the outcome of a PCN system simulation, including
 // signalling byte counts and the paging delay distribution.
@@ -288,8 +304,11 @@ func (cfg NetworkConfig) simConfig() sim.Config {
 		Dynamic:         cfg.Dynamic,
 		ReoptimizeEvery: cfg.ReoptimizeEvery,
 		MaxThreshold:    cfg.MaxThreshold,
-		UpdateLossProb:  cfg.UpdateLossProb,
+		Faults:          cfg.Faults,
 		Seed:            cfg.Seed,
+	}
+	if sc.Faults.UpdateLoss == 0 {
+		sc.Faults.UpdateLoss = cfg.UpdateLossProb
 	}
 	if cfg.PerTerminal != nil {
 		sc.PerTerminal = func(i int) chain.Params {
