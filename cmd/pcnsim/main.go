@@ -7,15 +7,24 @@
 //	pcnsim -terminals 100000 -slots 1000 -shards 8   # sharded parallel engine
 //	pcnsim -loss 0.2 -poll-loss 0.1 -reply-loss 0.1 -update-retries 3 \
 //	       -outage 50000:60000   # fault injection + recovery subsystem
+//	pcnsim -telemetry-every 10000 -json   # machine-readable run report
+//	pcnsim -pprof localhost:6060          # live progress + profiling
 //
 // The population is partitioned across -shards parallel simulation engines
 // (default GOMAXPROCS); metrics are bit-identical for any shard count.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -33,7 +42,9 @@ func percent(part, whole int64) string {
 }
 
 // parseOutages parses the -outage flag: comma-separated start:end slot
-// windows.
+// windows. Windows must be well-formed up front — non-negative start,
+// end strictly after start — matching the FaultPlan validation so a bad
+// flag fails before any simulation work starts.
 func parseOutages(s string) ([]locman.Outage, error) {
 	var out []locman.Outage
 	for _, w := range strings.Split(s, ",") {
@@ -49,9 +60,70 @@ func parseOutages(s string) ([]locman.Outage, error) {
 		if err != nil {
 			return nil, fmt.Errorf("outage window %q: %v", w, err)
 		}
+		if a < 0 {
+			return nil, fmt.Errorf("outage window %q starts at a negative slot", w)
+		}
+		if b <= a {
+			return nil, fmt.Errorf("outage window %q is inverted or empty", w)
+		}
 		out = append(out, locman.Outage{Start: a, End: b})
 	}
 	return out, nil
+}
+
+// printReport writes the human-readable run summary. Lost updates are
+// reported against update transmission attempts (first sends and
+// retransmissions alike — the same population the loss probability
+// applies to), so the percentage is a direct estimate of the injected
+// loss rate and can never exceed 100%.
+func printReport(w io.Writer, r *locman.Report) {
+	fmt.Fprintf(w, "terminals        %d\n", r.Terminals)
+	fmt.Fprintf(w, "slots            %d (%d scheduler events)\n", r.Slots, r.Events)
+	fmt.Fprintf(w, "updates          %d (%d bytes)\n", r.Updates, r.UpdateBytes)
+	fmt.Fprintf(w, "calls            %d (replies: %d bytes)\n", r.Calls, r.ReplyBytes)
+	fmt.Fprintf(w, "polled cells     %d (%d bytes)\n", r.PolledCells, r.PollBytes)
+	fmt.Fprintf(w, "paging failures  %d\n", r.NotFound)
+	fmt.Fprintf(w, "lost updates     %d (%s of %d attempts)\n", r.LostUpdates,
+		percent(r.LostUpdates, r.Updates), r.Updates)
+	fmt.Fprintf(w, "lost polls       %d   lost replies %d\n", r.LostPolls, r.LostReplies)
+	fmt.Fprintf(w, "retransmissions  %d (acks: %d, %d bytes)\n",
+		r.Retransmissions, r.Acks, r.AckBytes)
+	fmt.Fprintf(w, "fallback pages   %d (%s of calls)   re-poll rounds %d\n",
+		r.FallbackCalls, percent(r.FallbackCalls, r.Calls), r.RePolls)
+	fmt.Fprintf(w, "dropped calls    %d (%s of calls)\n", r.DroppedCalls,
+		percent(r.DroppedCalls, r.Calls))
+	fmt.Fprintf(w, "outage deferred  %d registrations\n", r.OutageDeferred)
+	if r.Recovery.N > 0 {
+		fmt.Fprintf(w, "recovery latency %.2f slots mean, %.0f worst (%d episodes)\n",
+			r.Recovery.Mean, r.Recovery.Max, r.Recovery.N)
+	}
+	if h := r.RecoveryHist; h != nil && h.N > 0 {
+		fmt.Fprintf(w, "recovery tail    p50 %.0f  p95 %.0f  p99 %.0f slots\n", h.P50, h.P95, h.P99)
+	}
+	fmt.Fprintf(w, "mean delay       %.3f polling cycles (worst observed %.0f)\n",
+		r.Delay.Mean, r.Delay.Max)
+	if h := r.DelayHist; h != nil && h.N > 0 {
+		fmt.Fprintf(w, "delay tail       p50 %.0f  p95 %.0f  p99 %.0f cycles\n", h.P50, h.P95, h.P99)
+	}
+	fmt.Fprintf(w, "update cost      %.6f per slot per terminal\n", r.UpdateCost)
+	fmt.Fprintf(w, "paging cost      %.6f per slot per terminal\n", r.PagingCost)
+	fmt.Fprintf(w, "total cost       %.6f per slot per terminal\n", r.TotalCost)
+
+	// Threshold usage histogram; omitted entirely when nothing was
+	// recorded rather than printing a bare label.
+	if len(r.ThresholdSlots) > 0 {
+		ds := make([]int, 0, len(r.ThresholdSlots))
+		for d := range r.ThresholdSlots {
+			ds = append(ds, d)
+		}
+		sort.Ints(ds)
+		fmt.Fprintf(w, "threshold usage ")
+		for _, d := range ds {
+			fmt.Fprintf(w, "  d=%d: %.1f%%", d,
+				100*float64(r.ThresholdSlots[d])/(float64(r.Slots)*float64(r.Terminals)))
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 func main() {
@@ -83,6 +155,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0),
 		"parallel simulation shards (results are identical for any shard count)")
+	jsonOut := flag.Bool("json", false,
+		"emit the run report as a schema-stable JSON document instead of text")
+	telemetryEvery := flag.Int64("telemetry-every", 0,
+		"capture a telemetry snapshot frame every N slots (0 = off)")
+	pprofAddr := flag.String("pprof", "",
+		"serve net/http/pprof and expvar live shard progress on this address")
 	flag.Parse()
 
 	var mdl locman.Model
@@ -114,7 +192,8 @@ func main() {
 			AckTimeout:    *ackTimeout,
 			PageRetries:   *pageRetries,
 		},
-		Seed: *seed,
+		SnapshotEvery: *telemetryEvery,
+		Seed:          *seed,
 	}
 	if *outages != "" {
 		windows, err := parseOutages(*outages)
@@ -130,50 +209,40 @@ func main() {
 			return base * f, *c
 		}
 	}
+	if *pprofAddr != "" {
+		prog := &locman.Progress{}
+		cfg.Progress = prog
+		expvar.Publish("pcnsim.progress", expvar.Func(func() any {
+			return prog.Snapshot()
+		}))
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving pprof and expvar on http://%s", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	metrics, err := locman.SimulateNetworkSharded(cfg, *slots, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
+	report := locman.NewReport(metrics)
 
-	fmt.Printf("terminals        %d\n", metrics.Terminals)
-	fmt.Printf("slots            %d (%d scheduler events)\n", metrics.Slots, metrics.Events)
-	fmt.Printf("updates          %d (%d bytes)\n", metrics.Updates, metrics.UpdateBytes)
-	fmt.Printf("calls            %d (replies: %d bytes)\n", metrics.Calls, metrics.ReplyBytes)
-	fmt.Printf("polled cells     %d (%d bytes)\n", metrics.PolledCells, metrics.PollBytes)
-	fmt.Printf("paging failures  %d\n", metrics.NotFound)
-	fmt.Printf("lost updates     %d (%s of sent)\n", metrics.LostUpdates,
-		percent(metrics.LostUpdates, metrics.Updates))
-	fmt.Printf("lost polls       %d   lost replies %d\n", metrics.LostPolls, metrics.LostReplies)
-	fmt.Printf("retransmissions  %d (acks: %d, %d bytes)\n",
-		metrics.Retransmissions, metrics.Acks, metrics.AckBytes)
-	fmt.Printf("fallback pages   %d (%s of calls)   re-poll rounds %d\n",
-		metrics.FallbackCalls, percent(metrics.FallbackCalls, metrics.Calls), metrics.RePolls)
-	fmt.Printf("dropped calls    %d (%s of calls)\n", metrics.DroppedCalls,
-		percent(metrics.DroppedCalls, metrics.Calls))
-	fmt.Printf("outage deferred  %d registrations\n", metrics.OutageDeferred)
-	if metrics.Recovery.N() > 0 {
-		fmt.Printf("recovery latency %.2f slots mean, %.0f worst (%d episodes)\n",
-			metrics.Recovery.Mean(), metrics.Recovery.Max(), metrics.Recovery.N())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
-	fmt.Printf("mean delay       %.3f polling cycles (worst observed %.0f)\n",
-		metrics.Delay.Mean(), metrics.Delay.Max())
-	fmt.Printf("update cost      %.6f per slot per terminal\n", metrics.UpdateCost)
-	fmt.Printf("paging cost      %.6f per slot per terminal\n", metrics.PagingCost)
-	fmt.Printf("total cost       %.6f per slot per terminal\n", metrics.TotalCost)
 
-	// Threshold usage histogram.
-	ds := make([]int, 0, len(metrics.ThresholdSlots))
-	for d := range metrics.ThresholdSlots {
-		ds = append(ds, d)
-	}
-	sort.Ints(ds)
-	fmt.Printf("threshold usage ")
-	for _, d := range ds {
-		fmt.Printf("  d=%d: %.1f%%", d,
-			100*float64(metrics.ThresholdSlots[d])/(float64(metrics.Slots)*float64(metrics.Terminals)))
-	}
-	fmt.Println()
+	printReport(os.Stdout, report)
 
 	// Analytical comparison for the homogeneous static case.
 	if !*dynamic && !*hetero {

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/locman"
+)
+
+func TestParseOutages(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   string
+		want []locman.Outage
+		err  string
+	}{
+		{"single", "100:200", []locman.Outage{{Start: 100, End: 200}}, ""},
+		{"multiple", "100:200,5000:5500",
+			[]locman.Outage{{Start: 100, End: 200}, {Start: 5000, End: 5500}}, ""},
+		{"spaces", " 1 : 2 ", []locman.Outage{{Start: 1, End: 2}}, ""},
+		{"zero start", "0:10", []locman.Outage{{Start: 0, End: 10}}, ""},
+		{"no colon", "100", nil, "not start:end"},
+		{"garbage start", "x:200", nil, "invalid syntax"},
+		{"garbage end", "100:y", nil, "invalid syntax"},
+		{"inverted", "200:100", nil, "inverted or empty"},
+		{"empty window", "100:100", nil, "inverted or empty"},
+		{"negative start", "-5:10", nil, "negative slot"},
+		{"negative both", "-10:-5", nil, "negative slot"},
+		{"bad second window", "100:200,300:250", nil, "inverted or empty"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseOutages(tc.in)
+			if tc.err != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.err) {
+					t.Fatalf("err = %v, want containing %q", err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("window %d = %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPercent(t *testing.T) {
+	for _, tc := range []struct {
+		part, whole int64
+		want        string
+	}{
+		{0, 0, "0.00%"},
+		{5, 0, "0.00%"},
+		{1, 4, "25.00%"},
+		{4, 4, "100.00%"},
+		{1, 3, "33.33%"},
+	} {
+		if got := percent(tc.part, tc.whole); got != tc.want {
+			t.Errorf("percent(%d, %d) = %q, want %q", tc.part, tc.whole, got, tc.want)
+		}
+	}
+}
+
+// runReport produces a real report from a small deterministic faulty run,
+// so printReport is exercised against engine-shaped data.
+func runReport(t *testing.T) *locman.Report {
+	t.Helper()
+	m, err := locman.SimulateNetworkSharded(locman.NetworkConfig{
+		Config: locman.Config{
+			Model: locman.TwoDimensional, MoveProb: 0.15, CallProb: 0.03,
+			UpdateCost: 20, PollCost: 1, MaxDelay: 3,
+		},
+		Terminals: 6,
+		Threshold: 2,
+		Faults:    locman.FaultPlan{UpdateLoss: 0.3, UpdateRetries: 2, PageRetries: 2},
+		Seed:      11,
+	}, 2_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return locman.NewReport(m)
+}
+
+// TestPrintReportLostUpdates checks the lost-updates line is labelled and
+// computed against transmission attempts — the population the loss
+// probability applies to — so the printed rate tracks the injected one.
+func TestPrintReportLostUpdates(t *testing.T) {
+	r := runReport(t)
+	if r.LostUpdates == 0 {
+		t.Fatal("run injected no losses")
+	}
+	var b strings.Builder
+	printReport(&b, r)
+	out := b.String()
+	want := "(" + percent(r.LostUpdates, r.Updates) + " of "
+	line := lineContaining(out, "lost updates")
+	if line == "" || !strings.Contains(line, want) || !strings.Contains(line, "attempts") {
+		t.Errorf("lost-updates line %q does not report against attempts (want %q)", line, want)
+	}
+}
+
+// TestPrintReportThresholdUsage checks the threshold-usage line appears
+// exactly when there is usage to show.
+func TestPrintReportThresholdUsage(t *testing.T) {
+	r := runReport(t)
+	var with strings.Builder
+	printReport(&with, r)
+	if !strings.Contains(with.String(), "threshold usage") {
+		t.Error("threshold usage line missing from a run that recorded usage")
+	}
+
+	r.ThresholdSlots = nil
+	var without strings.Builder
+	printReport(&without, r)
+	if strings.Contains(without.String(), "threshold usage") {
+		t.Error("empty threshold usage printed a bare label line")
+	}
+}
+
+// TestPrintReportQuantiles checks the tail-quantile lines follow the
+// histograms: present with samples, absent without.
+func TestPrintReportQuantiles(t *testing.T) {
+	r := runReport(t)
+	var b strings.Builder
+	printReport(&b, r)
+	if !strings.Contains(b.String(), "delay tail") {
+		t.Error("delay tail line missing despite samples")
+	}
+
+	r.DelayHist = nil
+	r.RecoveryHist = nil
+	var bare strings.Builder
+	printReport(&bare, r)
+	if strings.Contains(bare.String(), "delay tail") || strings.Contains(bare.String(), "recovery tail") {
+		t.Error("tail lines printed without histograms")
+	}
+}
+
+// lineContaining returns the first output line containing substr.
+func lineContaining(out, substr string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	return ""
+}

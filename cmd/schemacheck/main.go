@@ -1,0 +1,94 @@
+// Command schemacheck validates a pcnsim -json document on stdin: it must
+// decode into locman.Report with no unknown fields and satisfy the
+// report's cross-field invariants. CI pipes a smoke run through it so any
+// drift between the emitted JSON and the published schema fails the
+// build.
+//
+//	pcnsim -terminals 200 -slots 2000 -telemetry-every 500 -json | schemacheck
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/locman"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("schemacheck: ")
+
+	dec := json.NewDecoder(os.Stdin)
+	dec.DisallowUnknownFields()
+	var r locman.Report
+	if err := dec.Decode(&r); err != nil {
+		log.Fatalf("document does not match locman.Report: %v", err)
+	}
+	if err := check(&r); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ok: schema %d, %d terminals, %d slots, %d snapshots\n",
+		r.Schema, r.Terminals, r.Slots, len(r.Snapshots))
+}
+
+// check enforces the invariants every well-formed report satisfies.
+func check(r *locman.Report) error {
+	if r.Schema != locman.ReportSchema {
+		return fmt.Errorf("schema %d, want %d", r.Schema, locman.ReportSchema)
+	}
+	if r.Terminals <= 0 || r.Slots <= 0 {
+		return fmt.Errorf("empty run shape: %d terminals, %d slots", r.Terminals, r.Slots)
+	}
+	if r.Delay.N != r.Calls-r.DroppedCalls {
+		return fmt.Errorf("delay samples %d != calls %d - dropped %d",
+			r.Delay.N, r.Calls, r.DroppedCalls)
+	}
+	if err := checkHist("delay_hist", r.DelayHist, r.Delay.N); err != nil {
+		return err
+	}
+	if err := checkHist("recovery_hist", r.RecoveryHist, r.Recovery.N); err != nil {
+		return err
+	}
+	var prevSlot int64
+	for i, f := range r.Snapshots {
+		if f.Slot <= prevSlot {
+			return fmt.Errorf("snapshot %d at slot %d not after %d", i, f.Slot, prevSlot)
+		}
+		prevSlot = f.Slot
+	}
+	if n := len(r.Snapshots); n > 0 {
+		last := r.Snapshots[n-1]
+		if last.Slot != r.Slots {
+			return fmt.Errorf("final snapshot at slot %d, want %d", last.Slot, r.Slots)
+		}
+		if last.Updates != r.Updates || last.Calls != r.Calls ||
+			last.PolledCells != r.PolledCells || last.Events != r.Events {
+			return fmt.Errorf("final snapshot counters diverge from report totals")
+		}
+	}
+	return nil
+}
+
+// checkHist validates one histogram section against its summary count.
+func checkHist(name string, h *locman.HistReport, n int64) error {
+	if h == nil {
+		return fmt.Errorf("%s missing", name)
+	}
+	var sum int64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum+h.Overflow != h.N {
+		return fmt.Errorf("%s: buckets %d + overflow %d != n %d", name, sum, h.Overflow, h.N)
+	}
+	if h.N != n {
+		return fmt.Errorf("%s: n %d != summary n %d", name, h.N, n)
+	}
+	if h.N > 0 && (h.P50 > h.P95 || h.P95 > h.P99 || h.P99 > h.Max) {
+		return fmt.Errorf("%s: quantiles not ordered: %v %v %v max %v",
+			name, h.P50, h.P95, h.P99, h.Max)
+	}
+	return nil
+}

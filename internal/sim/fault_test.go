@@ -115,6 +115,9 @@ func assertNoFaultActivity(t *testing.T, m *Metrics) {
 func faultyConfig() Config {
 	cfg := baseConfig(chain.TwoDimExact, 0.15, 0.03, 2, 3)
 	cfg.Terminals = 16
+	// Snapshots on, so the shard-invariance checks cover the telemetry
+	// series under a nonzero FaultPlan too.
+	cfg.Telemetry.SnapshotEvery = 1_000
 	cfg.Faults = FaultPlan{
 		UpdateLoss:    0.25,
 		PollLoss:      0.15,
@@ -157,6 +160,10 @@ func TestFaultShardInvariance(t *testing.T) {
 	}
 	if want.NotFound != 0 {
 		t.Fatalf("%d NotFound calls escaped the recovery machinery", want.NotFound)
+	}
+	if len(want.Snapshots) == 0 || want.RecoveryHist.N == 0 {
+		t.Fatalf("faulty reference run captured no telemetry: %d frames, recovery hist N %d",
+			len(want.Snapshots), want.RecoveryHist.N)
 	}
 	for _, shards := range []int{3, 8} {
 		got, err := RunSharded(cfg, slots, shards)

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Metrics aggregates a run's measurements.
@@ -64,6 +66,20 @@ type Metrics struct {
 	// re-synced (successful update or page re-center). Aggregated over
 	// terminals in id order, like Delay.
 	Recovery stats.Accumulator
+	// DelayHist and RecoveryHist are fixed-bucket histograms of the same
+	// samples Delay and Recovery accumulate, exposing the tail quantiles
+	// (p50/p95/p99/max) the Welford state cannot. Bucket counts merge by
+	// exact integer addition, so they are shard-count invariant like
+	// every other aggregate. Always populated by the engine; may be nil
+	// on hand-built Metrics.
+	DelayHist    *telemetry.Hist
+	RecoveryHist *telemetry.Hist
+	// Snapshots is the merged run-telemetry snapshot series, captured
+	// every Config.Telemetry.SnapshotEvery slots (empty when telemetry is
+	// off). It is assembled once by RunSharded from the per-shard series
+	// in global terminal-id order; Merge deliberately leaves it untouched
+	// (partial series from different engines cannot be combined).
+	Snapshots []telemetry.Frame
 	// ThresholdSlots[d] counts terminal-slots spent operating at
 	// threshold d (interesting under Dynamic).
 	ThresholdSlots map[int]int64
@@ -98,14 +114,20 @@ type TerminalStats struct {
 
 // Merge folds o — the metrics of a disjoint set of terminals simulated
 // over the same slots with the same unit costs — into m, which may be the
-// zero value. Counters are summed, ThresholdSlots histograms are added
-// key-wise, PerTerminal records are concatenated and kept sorted by global
-// id, and the aggregates (Delay, the per-slot cost averages) are
-// recomputed from the merged per-terminal records in id order. Because the
-// recomputation order is the global id order regardless of how terminals
-// were grouped, folding any partition of the same population yields
-// bit-identical Metrics — the shard-count-invariance contract of
-// RunSharded.
+// zero value. Counters are summed, the ThresholdSlots and latency
+// histograms are added bucket-wise, PerTerminal records are concatenated
+// and kept sorted by global id, and the aggregates (Delay, the per-slot
+// cost averages) are recomputed from the merged per-terminal records in
+// id order. Because the recomputation order is the global id order
+// regardless of how terminals were grouped, folding any partition of the
+// same population yields bit-identical Metrics — the
+// shard-count-invariance contract of RunSharded.
+//
+// Merging metrics simulated over different slot counts is meaningless
+// (the per-slot averages would mix incompatible denominators) and panics;
+// a zero Slots on either side is treated as "not yet set" and adopts the
+// other. Snapshots are left untouched: the snapshot series is assembled
+// once by the engine, not by pairwise merging.
 func (m *Metrics) Merge(o *Metrics) {
 	if o == nil {
 		return
@@ -113,6 +135,8 @@ func (m *Metrics) Merge(o *Metrics) {
 	if m.Slots == 0 {
 		m.Slots = o.Slots
 		m.costs = o.costs
+	} else if o.Slots != 0 && o.Slots != m.Slots {
+		panic(fmt.Sprintf("sim: merging metrics over mismatched slot counts %d and %d", m.Slots, o.Slots))
 	}
 	m.Terminals += o.Terminals
 	m.Updates += o.Updates
@@ -133,6 +157,20 @@ func (m *Metrics) Merge(o *Metrics) {
 	m.DroppedCalls += o.DroppedCalls
 	m.OutageDeferred += o.OutageDeferred
 	m.Events += o.Events
+	if o.DelayHist != nil {
+		if m.DelayHist == nil {
+			m.DelayHist = o.DelayHist.Clone()
+		} else {
+			m.DelayHist.Merge(o.DelayHist)
+		}
+	}
+	if o.RecoveryHist != nil {
+		if m.RecoveryHist == nil {
+			m.RecoveryHist = o.RecoveryHist.Clone()
+		} else {
+			m.RecoveryHist.Merge(o.RecoveryHist)
+		}
+	}
 	if len(o.ThresholdSlots) > 0 && m.ThresholdSlots == nil {
 		m.ThresholdSlots = make(map[int]int64, len(o.ThresholdSlots))
 	}

@@ -224,3 +224,31 @@ func TestMetricsMergeGroupingInvariant(t *testing.T) {
 		t.Errorf("delay samples %d, want 9", a.Delay.N())
 	}
 }
+
+// TestMergeMismatchedSlotsPanics: merging metrics simulated over
+// different slot counts would mix incompatible per-slot denominators, so
+// Merge rejects it loudly. A zero Slots on either side still means "not
+// yet set" and adopts the other.
+func TestMergeMismatchedSlotsPanics(t *testing.T) {
+	a := &Metrics{Slots: 1_000, Terminals: 2}
+	b := &Metrics{Slots: 2_000, Terminals: 2}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("merge over mismatched slot counts accepted")
+			}
+		}()
+		a.Merge(b)
+	}()
+
+	// Zero receiver adopts; zero argument folds in.
+	var zero Metrics
+	zero.Merge(&Metrics{Slots: 500, Terminals: 1})
+	if zero.Slots != 500 {
+		t.Errorf("zero receiver has slots %d, want 500", zero.Slots)
+	}
+	zero.Merge(&Metrics{Terminals: 1})
+	if zero.Slots != 500 || zero.Terminals != 2 {
+		t.Errorf("zero-slot argument mishandled: %+v", zero)
+	}
+}

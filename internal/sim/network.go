@@ -94,11 +94,13 @@ func (n *network) markDesynced(t *terminal) {
 
 // markSynced closes a divergence episode, recording its duration in slots
 // on the terminal's recovery-latency accumulator (folded in id order at
-// merge time, like the delay accumulator).
+// merge time, like the delay accumulator) and the fixed-bucket histogram.
 func (n *network) markSynced(t *terminal) {
 	if t.desynced {
 		t.desynced = false
-		n.term(t.id).Recovery.Add(float64(n.sched.Now()-t.desyncedAt) / SlotTicks)
+		latency := float64(n.sched.Now()-t.desyncedAt) / SlotTicks
+		n.term(t.id).Recovery.Add(latency)
+		n.metrics.RecoveryHist.Add(latency)
 	}
 }
 
@@ -231,6 +233,7 @@ func (n *network) replyDelivered(t *terminal, call uint32) bool {
 func (n *network) pageSuccess(t *terminal, cycles int) {
 	t.center = t.pos
 	n.term(t.id).Delay.Add(float64(cycles))
+	n.metrics.DelayHist.Add(float64(cycles))
 	n.markSynced(t)
 }
 

@@ -10,6 +10,17 @@ import (
 	"repro/internal/des"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+// Latency histogram shapes: paging delay in polling cycles (unit
+// buckets; a nominal plan never exceeds MaxThreshold+2 cycles) and
+// desync-recovery latency in slots.
+const (
+	delayHistWidth      = 1
+	delayHistBuckets    = 64
+	recoveryHistWidth   = 64
+	recoveryHistBuckets = 64
 )
 
 // RunSharded simulates the network for the given number of slots with the
@@ -49,10 +60,11 @@ func RunSharded(cfg Config, slots int64, shards int) (*Metrics, error) {
 		loc = lineLocator{}
 	}
 
-	parts, err := sweep.Map(shards, 0, func(s int) (*Metrics, error) {
+	cfg.Telemetry.Progress.Init(shards)
+	parts, err := sweep.Map(shards, 0, func(s int) (shardResult, error) {
 		lo := s * cfg.Terminals / shards
 		hi := (s + 1) * cfg.Terminals / shards
-		return runShard(cfg, slots, lo, hi, startD, loc)
+		return runShard(cfg, slots, s, lo, hi, startD, loc)
 	})
 	if err != nil {
 		return nil, err
@@ -60,12 +72,27 @@ func RunSharded(cfg Config, slots int64, shards int) (*Metrics, error) {
 
 	merged := &Metrics{}
 	for _, p := range parts {
-		merged.Merge(p)
+		merged.Merge(p.metrics)
 	}
 	// Each shard reported only its sub-slot events; add the slot-sweep
 	// chain once, restoring the single-engine convention.
 	merged.Events += uint64(slots)
+	if cfg.Telemetry.SnapshotEvery > 0 {
+		series := make([][]telemetry.ShardFrame, len(parts))
+		for i, p := range parts {
+			series[i] = p.frames
+		}
+		merged.Snapshots = telemetry.MergeFrames(series, cfg.Terminals,
+			cfg.Core.Costs.Update, cfg.Core.Costs.Poll)
+	}
 	return merged, nil
+}
+
+// shardResult is one shard's share of a run: its metrics plus its
+// telemetry snapshot series (nil when telemetry is off).
+type shardResult struct {
+	metrics *Metrics
+	frames  []telemetry.ShardFrame
 }
 
 // validate rejects unusable configurations; cfg must already carry its
@@ -82,6 +109,9 @@ func validate(cfg Config, slots int64) error {
 	}
 	if cfg.Threshold > cfg.MaxThreshold {
 		return fmt.Errorf("sim: threshold %d exceeds MaxThreshold %d", cfg.Threshold, cfg.MaxThreshold)
+	}
+	if cfg.Telemetry.SnapshotEvery < 0 {
+		return fmt.Errorf("sim: negative telemetry snapshot cadence %d", cfg.Telemetry.SnapshotEvery)
 	}
 	// A full paging exchange — the nominal plan (at most MaxThreshold+2
 	// cycles) plus every recovery round — must finish inside the arrival
@@ -111,8 +141,9 @@ func startThreshold(cfg Config) (int, error) {
 // discrete-event engine. Its Metrics carry only this shard's share:
 // Terminals is hi−lo, PerTerminal holds records for ids lo..hi−1 and
 // Events counts sub-slot events only (the caller adds the slot sweeps
-// once after merging).
-func runShard(cfg Config, slots int64, lo, hi, startD int, loc locator) (*Metrics, error) {
+// once after merging). shard is the shard's index, used only for
+// telemetry (progress reporting).
+func runShard(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
 	n := &network{
 		cfg:   cfg,
 		loc:   loc,
@@ -123,6 +154,8 @@ func runShard(cfg Config, slots int64, lo, hi, startD int, loc locator) (*Metric
 			Terminals:      hi - lo,
 			ThresholdSlots: make(map[int]int64),
 			PerTerminal:    make([]TerminalStats, hi-lo),
+			DelayHist:      telemetry.NewHist(delayHistWidth, delayHistBuckets),
+			RecoveryHist:   telemetry.NewHist(recoveryHistWidth, recoveryHistBuckets),
 			costs:          cfg.Core.Costs,
 		},
 		parts: make(map[int]partInfo),
@@ -134,7 +167,7 @@ func runShard(cfg Config, slots int64, lo, hi, startD int, loc locator) (*Metric
 		if cfg.PerTerminal != nil {
 			p = cfg.PerTerminal(g)
 			if err := p.Validate(); err != nil {
-				return nil, fmt.Errorf("sim: terminal %d: %w", g, err)
+				return shardResult{}, fmt.Errorf("sim: terminal %d: %w", g, err)
 			}
 		}
 		t := &terminal{
@@ -158,11 +191,29 @@ func runShard(cfg Config, slots int64, lo, hi, startD int, loc locator) (*Metric
 	var sched des.Scheduler
 	n.sched = &sched
 
+	// Telemetry: frames capture the shard's cumulative state at slot
+	// boundaries. Capturing at the top of the slot event — before the
+	// sweep — covers exactly the events dispatched before the boundary
+	// tick, an ordering that is identical for every shard count because
+	// each terminal's events interleave with its own slot sweeps the same
+	// way on any engine. The Events field subtracts this shard's slot
+	// sweeps (slotEvents); the merge adds them back once globally.
+	every := cfg.Telemetry.SnapshotEvery
+	prog := cfg.Telemetry.Progress
+	var frames []telemetry.ShardFrame
+	capture := func(boundary int64, slotEvents uint64) {
+		frames = append(frames, n.snapshot(boundary, sched.Processed()-slotEvents))
+	}
+
 	// One event per slot sweeps the shard's terminals: movement/update and
 	// call arrivals; paging cycles run as sub-slot events.
 	var slot func()
 	cur := int64(0)
 	slot = func() {
+		if every > 0 && cur > 0 && cur%every == 0 {
+			// The current slot event is already counted in Processed.
+			capture(cur, uint64(cur)+1)
+		}
 		for _, t := range terms {
 			n.metrics.ThresholdSlots[t.threshold]++
 			called := t.rng.Bernoulli(t.params.C)
@@ -187,12 +238,19 @@ func runShard(cfg Config, slots int64, lo, hi, startD int, loc locator) (*Metric
 			}
 		}
 		cur++
+		prog.Set(shard, cur, sched.Processed())
 		if cur < slots {
 			sched.After(SlotTicks, slot)
 		}
 	}
 	sched.At(0, slot)
 	sched.Drain()
+	if every > 0 {
+		// The final frame always lands on the run boundary, covering the
+		// whole run including any events drained after the last slot.
+		capture(slots, uint64(slots))
+	}
+	prog.Set(shard, slots, sched.Processed())
 
 	m := n.metrics
 	m.Events = sched.Processed() - uint64(slots)
@@ -203,5 +261,35 @@ func runShard(cfg Config, slots int64, lo, hi, startD int, loc locator) (*Metric
 		ts.FinalThreshold = terms[i].threshold
 	}
 	m.recompute()
-	return m, nil
+	return shardResult{metrics: m, frames: frames}, nil
+}
+
+// snapshot captures one telemetry frame of the shard's cumulative state:
+// the counters plus a copy of the per-terminal delay/recovery accumulator
+// states, which telemetry.MergeFrames re-folds in global id order so the
+// merged series is independent of the shard count. events must already
+// exclude this shard's slot sweeps.
+func (n *network) snapshot(boundary int64, events uint64) telemetry.ShardFrame {
+	m := n.metrics
+	sf := telemetry.ShardFrame{
+		Slot:  boundary,
+		First: int(n.first),
+		Counters: telemetry.Counters{
+			Updates:         m.Updates,
+			LostUpdates:     m.LostUpdates,
+			Retransmissions: m.Retransmissions,
+			Calls:           m.Calls,
+			PolledCells:     m.PolledCells,
+			DroppedCalls:    m.DroppedCalls,
+			RePolls:         m.RePolls,
+			Events:          events,
+		},
+		Delay:    make([]stats.Accumulator, len(m.PerTerminal)),
+		Recovery: make([]stats.Accumulator, len(m.PerTerminal)),
+	}
+	for i := range m.PerTerminal {
+		sf.Delay[i] = m.PerTerminal[i].Delay
+		sf.Recovery[i] = m.PerTerminal[i].Recovery
+	}
+	return sf
 }

@@ -24,6 +24,9 @@ func TestRunShardedShardCountInvariant(t *testing.T) {
 	cfg := baseConfig(chain.TwoDimExact, 0.15, 0.03, 2, 3)
 	cfg.Terminals = 12
 	cfg.Faults.UpdateLoss = 0.2
+	// Telemetry on: reflect.DeepEqual below then pins the snapshot series
+	// and the latency histograms to be bit-identical too.
+	cfg.Telemetry.SnapshotEvery = 500
 	const slots = 4_000
 
 	want, err := Run(cfg, slots)
@@ -32,6 +35,10 @@ func TestRunShardedShardCountInvariant(t *testing.T) {
 	}
 	if want.Calls == 0 || want.Updates == 0 || want.LostUpdates == 0 {
 		t.Fatalf("reference run exercised too little: %+v", want)
+	}
+	if len(want.Snapshots) != int(slots/500) || want.DelayHist.N != want.Delay.N() {
+		t.Fatalf("reference run captured no usable telemetry: %d frames, hist N %d",
+			len(want.Snapshots), want.DelayHist.N)
 	}
 	for _, shards := range shardCounts() {
 		got, err := RunSharded(cfg, slots, shards)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/grid"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -66,6 +67,13 @@ type Config struct {
 	// updates with retransmission, recovery paging rounds). The zero
 	// value is the paper's perfect signalling plane. See FaultPlan.
 	Faults FaultPlan
+	// Telemetry switches on the run-telemetry subsystem: periodic
+	// snapshot frames of the cumulative counters (Metrics.Snapshots) and
+	// live per-shard progress counters. Snapshots take no RNG draws and
+	// schedule no events, so they never perturb the simulation; the
+	// latency histograms (Metrics.DelayHist, Metrics.RecoveryHist) are
+	// always on. The zero value records nothing beyond the final Metrics.
+	Telemetry telemetry.Config
 	// Seed seeds the simulation's deterministic RNG streams: terminal i
 	// draws from stats.SubStream(Seed, i), so its stream depends only on
 	// (Seed, i) — never on the population size ordering or the shard

@@ -265,3 +265,76 @@ func TestRNGSplitIndependence(t *testing.T) {
 		t.Errorf("split streams look correlated: %d/100 equal", equal)
 	}
 }
+
+// TestMergeExtremaNegativeStreams checks min/max propagation when every
+// observation is negative: the zero-valued min/max fields must never leak
+// a spurious 0 into the merged extrema.
+func TestMergeExtremaNegativeStreams(t *testing.T) {
+	var a, b Accumulator
+	for _, x := range []float64{-5, -3, -8} {
+		a.Add(x)
+	}
+	for _, x := range []float64{-1, -12} {
+		b.Add(x)
+	}
+	a.Merge(&b)
+	if a.Min() != -12 || a.Max() != -1 {
+		t.Errorf("merged extrema (%v, %v), want (-12, -1)", a.Min(), a.Max())
+	}
+	if a.N() != 5 {
+		t.Errorf("merged n = %d, want 5", a.N())
+	}
+}
+
+// TestMergeEmptyIntoNonempty: folding an empty accumulator must be a
+// no-op — in particular its zero min/max must not clamp the extrema.
+func TestMergeEmptyIntoNonempty(t *testing.T) {
+	var a, empty Accumulator
+	a.Add(3)
+	a.Add(7)
+	want := a
+	a.Merge(&empty)
+	if a != want {
+		t.Errorf("merging empty changed the accumulator: %+v vs %+v", a, want)
+	}
+}
+
+// TestMergeNonemptyIntoEmpty: the receiver adopts the argument wholesale,
+// extrema included.
+func TestMergeNonemptyIntoEmpty(t *testing.T) {
+	var a, b Accumulator
+	b.Add(-4)
+	b.Add(9)
+	a.Merge(&b)
+	if a != b {
+		t.Errorf("empty receiver did not adopt the argument: %+v vs %+v", a, b)
+	}
+	if a.Min() != -4 || a.Max() != 9 {
+		t.Errorf("extrema (%v, %v), want (-4, 9)", a.Min(), a.Max())
+	}
+}
+
+// TestMergeExtremaAcrossPartitions: whatever the partition of a stream
+// with negative and positive values, the merged extrema equal the
+// sequential ones.
+func TestMergeExtremaAcrossPartitions(t *testing.T) {
+	xs := []float64{3, -7, 0, 15, -2, 8, -7, 15}
+	var seq Accumulator
+	for _, x := range xs {
+		seq.Add(x)
+	}
+	for split := 0; split <= len(xs); split++ {
+		var lo, hi Accumulator
+		for _, x := range xs[:split] {
+			lo.Add(x)
+		}
+		for _, x := range xs[split:] {
+			hi.Add(x)
+		}
+		lo.Merge(&hi)
+		if lo.Min() != seq.Min() || lo.Max() != seq.Max() || lo.N() != seq.N() {
+			t.Errorf("split %d: merged (n=%d, min=%v, max=%v), want (n=%d, min=%v, max=%v)",
+				split, lo.N(), lo.Min(), lo.Max(), seq.N(), seq.Min(), seq.Max())
+		}
+	}
+}

@@ -11,10 +11,24 @@ import (
 	"sync"
 )
 
+// taskPanic records a recovered panic from one task so it can be
+// re-raised on the caller's goroutine after the pool drains.
+type taskPanic struct {
+	val any
+}
+
 // Map evaluates fn(0..n−1) using at most workers concurrent goroutines
 // (workers ≤ 0 selects GOMAXPROCS) and returns the results in index order.
 // If any call fails, Map returns the error with the lowest index; all
 // in-flight calls still complete (fn is never abandoned mid-run).
+//
+// A panicking fn does not kill its worker: the panic is recovered
+// per-task, every remaining task still runs, and once the pool has
+// drained the panic with the lowest index is re-raised on the caller's
+// goroutine. Panics take precedence over errors — they indicate a bug,
+// not a failed experiment — and without the per-task recovery a single
+// panic would strand the producer on the unbuffered task channel and
+// deadlock Map forever.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("sweep: negative task count %d", n)
@@ -30,8 +44,18 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	out := make([]T, n)
 	errs := make([]error, n)
+	panics := make([]*taskPanic, n)
 	if n == 0 {
 		return out, nil
+	}
+
+	call := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				panics[i] = &taskPanic{val: v}
+			}
+		}()
+		out[i], errs[i] = fn(i)
 	}
 
 	var wg sync.WaitGroup
@@ -41,7 +65,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i], errs[i] = fn(i)
+				call(i)
 			}
 		}()
 	}
@@ -51,6 +75,11 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	close(idx)
 	wg.Wait()
 
+	for _, p := range panics {
+		if p != nil {
+			panic(p.val)
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

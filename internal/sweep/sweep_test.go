@@ -112,3 +112,52 @@ func TestMapActuallyParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMapPanicDoesNotDeadlock is the regression test for the worker-pool
+// deadlock: a panicking fn used to kill its worker after wg.Done, leaving
+// the producer blocked forever on the unbuffered task channel. Now every
+// task runs, and the lowest-index panic is re-raised on the caller.
+// (Before the per-task recovery this test hung until the test timeout.)
+func TestMapPanicDoesNotDeadlock(t *testing.T) {
+	var ran atomic.Int64
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic swallowed")
+		}
+		if v != "boom-1" {
+			t.Errorf("recovered %v, want lowest-index panic boom-1", v)
+		}
+		if ran.Load() != 8 {
+			t.Errorf("%d tasks ran, want all 8", ran.Load())
+		}
+	}()
+	_, _ = Map(8, 2, func(i int) (int, error) {
+		ran.Add(1)
+		if i%2 == 1 {
+			panic(fmt.Sprintf("boom-%d", i))
+		}
+		return i, nil
+	})
+	t.Fatal("Map returned despite panicking tasks")
+}
+
+// TestMapPanicBeatsError: a panic anywhere outranks an earlier error —
+// it is a bug signal, not a failed experiment.
+func TestMapPanicBeatsError(t *testing.T) {
+	defer func() {
+		if v := recover(); v != "bug" {
+			t.Errorf("recovered %v, want the panic", v)
+		}
+	}()
+	_, _ = Map(4, 2, func(i int) (int, error) {
+		if i == 0 {
+			return 0, errors.New("failed experiment")
+		}
+		if i == 3 {
+			panic("bug")
+		}
+		return i, nil
+	})
+	t.Fatal("Map returned despite a panicking task")
+}

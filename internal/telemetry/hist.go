@@ -1,0 +1,124 @@
+package telemetry
+
+import "fmt"
+
+// Hist is a fixed-bucket latency histogram: bucket i counts observations
+// in [i·Width, (i+1)·Width), with everything at or beyond the last edge
+// in Overflow, and the exact extrema tracked on the side. All fields are
+// exported so histograms marshal to JSON and merge across shards; mutate
+// them only through Add and Merge.
+//
+// Because bucket counts merge by exact integer addition and the extrema
+// by min/max, a histogram reduced over any partition of the same samples
+// is bit-identical — the shard-count-invariance property the simulation
+// engine's metrics merge relies on.
+type Hist struct {
+	// Width is the bucket width in the sample's unit (cycles, slots, …).
+	Width float64 `json:"width"`
+	// Counts[i] counts observations in [i·Width, (i+1)·Width); negative
+	// observations (never produced by the simulator) land in bucket 0.
+	Counts []int64 `json:"counts"`
+	// Overflow counts observations at or beyond len(Counts)·Width.
+	Overflow int64 `json:"overflow"`
+	// N is the total observation count.
+	N int64 `json:"n"`
+	// Min and Max are the exact extrema (0 when N is 0).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// NewHist returns an empty histogram with the given bucket width and
+// count; both must be positive.
+func NewHist(width float64, buckets int) *Hist {
+	if width <= 0 || buckets <= 0 {
+		panic(fmt.Sprintf("telemetry: histogram shape %v x %d must be positive", width, buckets))
+	}
+	return &Hist{Width: width, Counts: make([]int64, buckets)}
+}
+
+// Add records one observation.
+func (h *Hist) Add(x float64) {
+	if h.N == 0 || x < h.Min {
+		h.Min = x
+	}
+	if h.N == 0 || x > h.Max {
+		h.Max = x
+	}
+	h.N++
+	if x < 0 {
+		h.Counts[0]++
+		return
+	}
+	if i := int(x / h.Width); i < len(h.Counts) {
+		h.Counts[i]++
+	} else {
+		h.Overflow++
+	}
+}
+
+// Clone returns an independent copy of h.
+func (h *Hist) Clone() *Hist {
+	c := *h
+	c.Counts = append([]int64(nil), h.Counts...)
+	return &c
+}
+
+// Merge folds o into h. Both histograms must have the same shape (width
+// and bucket count); merging mismatched shapes is always a bug and
+// panics. Merging is commutative and associative, so any reduction order
+// over the same sample partition yields bit-identical state.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.N == 0 {
+		return
+	}
+	if h.Width != o.Width || len(h.Counts) != len(o.Counts) {
+		panic(fmt.Sprintf("telemetry: merging mismatched histogram shapes %v x %d and %v x %d",
+			h.Width, len(h.Counts), o.Width, len(o.Counts)))
+	}
+	if h.N == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if h.N == 0 || o.Max > h.Max {
+		h.Max = o.Max
+	}
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Overflow += o.Overflow
+	h.N += o.N
+}
+
+// Quantile returns an upper bound on the p-quantile (p in (0, 1]): the
+// upper edge of the first bucket whose cumulative count reaches p·N,
+// clamped to the exact observed Max (so constant streams report exactly).
+// Observations that overflowed the bucket range report Max. An empty
+// histogram returns 0.
+func (h *Hist) Quantile(p float64) float64 {
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("telemetry: quantile probability %v outside (0,1]", p))
+	}
+	if h.N == 0 {
+		return 0
+	}
+	target := p * float64(h.N)
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			if edge := float64(i+1) * h.Width; edge < h.Max {
+				return edge
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// P50 returns the median upper bound.
+func (h *Hist) P50() float64 { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile upper bound.
+func (h *Hist) P95() float64 { return h.Quantile(0.95) }
+
+// P99 returns the 99th-percentile upper bound.
+func (h *Hist) P99() float64 { return h.Quantile(0.99) }

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHistAddAndQuantiles(t *testing.T) {
+	h := NewHist(1, 8)
+	for _, x := range []float64{1, 1, 1, 2, 3, 3, 5, 20} {
+		h.Add(x)
+	}
+	if h.N != 8 {
+		t.Fatalf("N = %d, want 8", h.N)
+	}
+	if h.Min != 1 || h.Max != 20 {
+		t.Errorf("extrema (%v, %v), want (1, 20)", h.Min, h.Max)
+	}
+	if h.Overflow != 1 {
+		t.Errorf("overflow = %d, want 1 (the 20)", h.Overflow)
+	}
+	if got := h.Counts[1]; got != 3 {
+		t.Errorf("Counts[1] = %d, want 3", got)
+	}
+	// The 4th of 8 samples is the 2, in bucket [2,3): p50 reports the
+	// bucket's upper edge.
+	if got := h.P50(); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	// p95 needs 7.6 samples; cumulative reaches 8 only via overflow → Max.
+	if got := h.P95(); got != 20 {
+		t.Errorf("p95 = %v, want 20", got)
+	}
+	if got := h.P99(); got != 20 {
+		t.Errorf("p99 = %v, want 20", got)
+	}
+}
+
+func TestHistConstantStreamReportsExactly(t *testing.T) {
+	h := NewHist(1, 16)
+	for i := 0; i < 100; i++ {
+		h.Add(3)
+	}
+	// The bucket upper edge (4) is clamped to the exact Max.
+	for _, p := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(p); got != 3 {
+			t.Errorf("quantile(%v) = %v, want exactly 3", p, got)
+		}
+	}
+}
+
+func TestHistEmptyAndBounds(t *testing.T) {
+	h := NewHist(2, 4)
+	if got := h.P50(); got != 0 {
+		t.Errorf("empty p50 = %v", got)
+	}
+	h.Add(-1) // negatives clamp into bucket 0
+	if h.Counts[0] != 1 || h.Min != -1 {
+		t.Errorf("negative sample: counts %v, min %v", h.Counts, h.Min)
+	}
+	for _, p := range []float64{0, -1, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("quantile(%v) did not panic", p)
+				}
+			}()
+			h.Quantile(p)
+		}()
+	}
+	for _, bad := range []func(){
+		func() { NewHist(0, 4) },
+		func() { NewHist(1, 0) },
+		func() { NewHist(-2, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad histogram shape accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestHistMergePartitionInvariant is the determinism contract: reducing
+// any partition of the same samples, in any order, yields bit-identical
+// histogram state.
+func TestHistMergePartitionInvariant(t *testing.T) {
+	samples := []float64{0, 1, 1, 2, 5, 7, 7, 9, 31, 64, 120}
+	whole := NewHist(4, 16)
+	for _, x := range samples {
+		whole.Add(x)
+	}
+	for _, cut := range []int{1, 4, len(samples) - 1} {
+		a, b := NewHist(4, 16), NewHist(4, 16)
+		for _, x := range samples[:cut] {
+			a.Add(x)
+		}
+		for _, x := range samples[cut:] {
+			b.Add(x)
+		}
+		// Merge in both orders; each must equal the single-stream state.
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !reflect.DeepEqual(ab, whole) || !reflect.DeepEqual(ba, whole) {
+			t.Errorf("cut %d: merged state diverged:\nab %+v\nba %+v\nwant %+v", cut, ab, ba, whole)
+		}
+	}
+}
+
+func TestHistMergeEdgeCases(t *testing.T) {
+	a := NewHist(1, 4)
+	a.Merge(nil) // no-op
+	empty := NewHist(1, 4)
+	a.Merge(empty) // empty is a no-op, extrema untouched
+	if a.N != 0 || a.Min != 0 || a.Max != 0 {
+		t.Errorf("empty merge changed state: %+v", a)
+	}
+	b := NewHist(1, 4)
+	b.Add(-3)
+	b.Add(2)
+	a.Merge(b) // into empty: adopts extrema
+	if a.Min != -3 || a.Max != 2 || a.N != 2 {
+		t.Errorf("merge into empty: %+v", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch accepted")
+		}
+	}()
+	c := NewHist(2, 4)
+	c.Add(1)
+	a.Merge(c)
+}
+
+func TestHistClone(t *testing.T) {
+	a := NewHist(1, 4)
+	a.Add(1)
+	c := a.Clone()
+	c.Add(2)
+	if a.N != 1 || a.Counts[2] != 0 {
+		t.Errorf("clone aliased the original: %+v", a)
+	}
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import "sync/atomic"
+
+// Progress holds live per-shard progress counters for an in-flight run.
+// The engine calls Init once with the shard count and then Set from each
+// shard's slot loop; any other goroutine may call Snapshot concurrently
+// (an expvar handler, a progress bar). All updates are atomic, so
+// watching a run costs one atomic store per shard per slot and never
+// blocks the simulation.
+type Progress struct {
+	shards atomic.Pointer[[]shardProgress]
+}
+
+type shardProgress struct {
+	slot   atomic.Int64
+	events atomic.Uint64
+}
+
+// ShardStatus is one shard's live progress: the slots it has completed
+// and the scheduler events it has processed.
+type ShardStatus struct {
+	Shard  int    `json:"shard"`
+	Slot   int64  `json:"slot"`
+	Events uint64 `json:"events"`
+}
+
+// Init (re)sizes the counter set for a run with the given shard count,
+// resetting all counters. The engine calls it before the shards start.
+func (p *Progress) Init(shards int) {
+	if p == nil {
+		return
+	}
+	s := make([]shardProgress, shards)
+	p.shards.Store(&s)
+}
+
+// Set records shard's current progress. Calls before Init, or with an
+// out-of-range shard index, are dropped.
+func (p *Progress) Set(shard int, slot int64, events uint64) {
+	if p == nil {
+		return
+	}
+	sp := p.shards.Load()
+	if sp == nil || shard < 0 || shard >= len(*sp) {
+		return
+	}
+	(*sp)[shard].slot.Store(slot)
+	(*sp)[shard].events.Store(events)
+}
+
+// Snapshot returns the current per-shard progress (empty before Init).
+func (p *Progress) Snapshot() []ShardStatus {
+	if p == nil {
+		return nil
+	}
+	sp := p.shards.Load()
+	if sp == nil {
+		return nil
+	}
+	out := make([]ShardStatus, len(*sp))
+	for i := range *sp {
+		out[i] = ShardStatus{
+			Shard:  i,
+			Slot:   (*sp)[i].slot.Load(),
+			Events: (*sp)[i].events.Load(),
+		}
+	}
+	return out
+}

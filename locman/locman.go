@@ -46,6 +46,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/paging"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/walk"
 )
 
@@ -281,6 +282,17 @@ type NetworkConfig struct {
 	// updates with retransmission, recovery paging rounds, dropped-call
 	// accounting). The zero value is a perfect signalling plane.
 	Faults FaultPlan
+	// SnapshotEvery switches on run telemetry: every SnapshotEvery slots
+	// the simulation captures a cumulative snapshot Frame into
+	// NetworkMetrics.Snapshots (plus one final frame at the run boundary).
+	// The series is shard-count invariant like every other aggregate.
+	// Zero disables the series; the latency histograms are always on.
+	SnapshotEvery int64
+	// Progress optionally receives live per-shard progress counters
+	// (current slot, events processed) updated atomically while the
+	// simulation runs; poll it with Progress.Snapshot from another
+	// goroutine. Nil disables progress reporting.
+	Progress *Progress
 	// Seed seeds the deterministic simulation.
 	Seed uint64
 }
@@ -296,6 +308,25 @@ type Outage = sim.Outage
 // signalling byte counts and the paging delay distribution.
 type NetworkMetrics = sim.Metrics
 
+// Frame is one cumulative run-telemetry snapshot; see
+// NetworkConfig.SnapshotEvery.
+type Frame = telemetry.Frame
+
+// Summary is the five-number statistical summary a Frame carries for the
+// delay and recovery-latency streams.
+type Summary = telemetry.Summary
+
+// Hist is a fixed-bucket latency histogram with deterministic merge; see
+// NetworkMetrics.DelayHist and NetworkMetrics.RecoveryHist.
+type Hist = telemetry.Hist
+
+// Progress publishes live per-shard simulation progress; see
+// NetworkConfig.Progress.
+type Progress = telemetry.Progress
+
+// ShardStatus is one shard's progress as reported by Progress.Snapshot.
+type ShardStatus = telemetry.ShardStatus
+
 func (cfg NetworkConfig) simConfig() sim.Config {
 	sc := sim.Config{
 		Core:            cfg.internal(),
@@ -305,7 +336,11 @@ func (cfg NetworkConfig) simConfig() sim.Config {
 		ReoptimizeEvery: cfg.ReoptimizeEvery,
 		MaxThreshold:    cfg.MaxThreshold,
 		Faults:          cfg.Faults,
-		Seed:            cfg.Seed,
+		Telemetry: telemetry.Config{
+			SnapshotEvery: cfg.SnapshotEvery,
+			Progress:      cfg.Progress,
+		},
+		Seed: cfg.Seed,
 	}
 	if sc.Faults.UpdateLoss == 0 {
 		sc.Faults.UpdateLoss = cfg.UpdateLossProb
