@@ -323,42 +323,75 @@ func BenchmarkNetworkSimulator(b *testing.B) {
 	}
 }
 
-// BenchmarkRunSharded measures the sharded DES engine's scaling:
-// terminal-slots per second at 10k–1M terminals for one shard (the
+// BenchmarkRunSharded measures the simulation engines' scaling:
+// terminal-slots per second at 10k–1M terminals, for the slot-batched
+// fast path and the reference event-driven engine, for one shard (the
 // single-threaded Run) versus one shard per core. Results are
-// bit-identical across the variants (the shard-count-invariance
-// contract); only the wall clock changes.
+// bit-identical across every variant (the engine-equivalence and
+// shard-count-invariance contracts); only the wall clock changes.
 func BenchmarkRunSharded(b *testing.B) {
 	shardCounts := []int{1}
 	if p := runtime.GOMAXPROCS(0); p > 1 {
 		shardCounts = append(shardCounts, p)
 	}
-	for _, terms := range []int{10_000, 100_000, 1_000_000} {
-		for _, shards := range shardCounts {
-			b.Run(fmt.Sprintf("terminals=%d/shards=%d", terms, shards), func(b *testing.B) {
-				cfg := sim.Config{
-					Core: core.Config{
-						Model:    chain.TwoDimExact,
-						Params:   tableParams,
-						Costs:    core.Costs{Update: 100, Poll: 10},
-						MaxDelay: 3,
-					},
-					Terminals: terms,
-					Threshold: 3,
-					Seed:      1,
-				}
-				const slots = 4 // amortizes per-run setup over a few sweeps
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					if _, err := sim.RunSharded(cfg, slots, shards); err != nil {
-						b.Fatal(err)
+	for _, engine := range []sim.Engine{sim.EngineFast, sim.EngineDES} {
+		for _, terms := range []int{10_000, 100_000, 1_000_000} {
+			for _, shards := range shardCounts {
+				b.Run(fmt.Sprintf("engine=%s/terminals=%d/shards=%d", engine, terms, shards), func(b *testing.B) {
+					cfg := sim.Config{
+						Core: core.Config{
+							Model:    chain.TwoDimExact,
+							Params:   tableParams,
+							Costs:    core.Costs{Update: 100, Poll: 10},
+							MaxDelay: 3,
+						},
+						Terminals: terms,
+						Threshold: 3,
+						Seed:      1,
+						Engine:    engine,
 					}
-				}
-				b.StopTimer()
-				b.ReportMetric(float64(terms)*slots*float64(b.N)/b.Elapsed().Seconds(),
-					"terminal-slots/s")
-			})
+					// Enough slots that steady-state slot work dominates the
+					// per-run setup (terminal provisioning, RNG seeding);
+					// at 4 slots the identical setup cost swamps both
+					// engines and the comparison measures nothing.
+					const slots = 64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := sim.RunSharded(cfg, slots, shards); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(terms)*slots*float64(b.N)/b.Elapsed().Seconds(),
+						"terminal-slots/s")
+				})
+			}
 		}
+	}
+}
+
+// BenchmarkFastPathHotLoop measures the fast engine's steady-state cost
+// per terminal-slot with one long-running terminal, so the one-time setup
+// amortizes to nothing: slots scale with b.N, making allocs/op the hot
+// loop's true allocation rate — which must be zero. Movement is heavy
+// (q=0.5, threshold crossings send real updates through the wire codec)
+// but calls are off, isolating the slot loop from the paging machinery.
+func BenchmarkFastPathHotLoop(b *testing.B) {
+	cfg := sim.Config{
+		Core: core.Config{
+			Model:    chain.TwoDimExact,
+			Params:   chain.Params{Q: 0.5, C: 0},
+			Costs:    core.Costs{Update: 100, Poll: 10},
+			MaxDelay: 3,
+		},
+		Terminals: 1,
+		Threshold: 3,
+		Seed:      1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := sim.Run(cfg, int64(b.N)+1); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -1,0 +1,369 @@
+// Command benchreport measures the simulation engines' throughput and
+// writes a machine-readable benchmark report:
+//
+//	benchreport -out BENCH_engine.json
+//	benchreport -validate BENCH_engine.json
+//
+// The report (schema bench-engine/v1) records terminal-slots per second
+// and allocation rates for the slot-batched fast engine and the reference
+// event-driven engine across population sizes, the fast path's
+// steady-state hot-loop cost, and the resulting fast-over-DES speedups.
+// Both engines produce bit-identical results (sim.TestFastPathEquivalence);
+// this report tracks the wall-clock side of that contract. The -validate
+// mode decodes a report strictly (unknown fields rejected) and checks its
+// internal invariants, so CI can verify both the writer and a checked-in
+// baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/paperdata"
+	"repro/internal/sim"
+)
+
+// Schema identifies the report layout; bump on breaking changes.
+const Schema = "bench-engine/v1"
+
+// Params pins the workload the measurements ran under: the paper's
+// Table 1/2 parameters on the exact 2-D model.
+type Params struct {
+	Model      string  `json:"model"`
+	Q          float64 `json:"q"`
+	C          float64 `json:"c"`
+	UpdateCost float64 `json:"update_cost"`
+	PollCost   float64 `json:"poll_cost"`
+	MaxDelay   int     `json:"max_delay"`
+	Threshold  int     `json:"threshold"`
+	Slots      int64   `json:"slots"`
+	Shards     int     `json:"shards"`
+}
+
+// Run is one engine × population measurement.
+type Run struct {
+	Engine              string  `json:"engine"`
+	Terminals           int     `json:"terminals"`
+	Shards              int     `json:"shards"`
+	Slots               int64   `json:"slots"`
+	NsPerTerminalSlot   float64 `json:"ns_per_terminal_slot"`
+	TerminalSlotsPerSec float64 `json:"terminal_slots_per_sec"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	BytesPerOp          int64   `json:"bytes_per_op"`
+}
+
+// HotLoop is the fast engine's steady-state cost with a single
+// long-running terminal: slots scale with b.N so setup amortizes to
+// nothing, making AllocsPerOp the hot loop's true allocation rate.
+type HotLoop struct {
+	NsPerTerminalSlot float64 `json:"ns_per_terminal_slot"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	BytesPerOp        int64   `json:"bytes_per_op"`
+}
+
+// Speedup is the fast engine's throughput advantage at one population.
+type Speedup struct {
+	Terminals   int     `json:"terminals"`
+	FastOverDES float64 `json:"fast_over_des"`
+}
+
+// Report is the full document written to -out.
+type Report struct {
+	Schema   string    `json:"schema"`
+	Params   Params    `json:"params"`
+	Runs     []Run     `json:"runs"`
+	HotLoop  HotLoop   `json:"hot_loop"`
+	Speedups []Speedup `json:"speedups"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is main minus the process scaffolding, so tests can drive the full
+// flag-to-output path in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_engine.json", "output file for the report")
+	termList := fs.String("terminals", "10000,100000,1000000", "comma-separated population sizes")
+	slots := fs.Int64("slots", 256, "slots per run (large enough to amortize setup)")
+	shards := fs.Int("shards", 1, "shard count for every run")
+	reps := fs.Int("reps", 3, "repetitions per measurement; the best is kept")
+	validate := fs.String("validate", "", "validate the report in this file instead of measuring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *validate != "" {
+		rep, err := readReport(*validate)
+		if err != nil {
+			return err
+		}
+		if err := validateReport(rep); err != nil {
+			return fmt.Errorf("%s: %w", *validate, err)
+		}
+		fmt.Fprintf(stdout, "%s: valid %s report (%d runs)\n", *validate, rep.Schema, len(rep.Runs))
+		return nil
+	}
+
+	terminals, err := parseTerminals(*termList)
+	if err != nil {
+		return err
+	}
+	if *slots <= 0 {
+		return fmt.Errorf("slots %d must be positive", *slots)
+	}
+	if *reps <= 0 {
+		return fmt.Errorf("reps %d must be positive", *reps)
+	}
+
+	params := defaultParams(*slots, *shards)
+	var runs []Run
+	for _, engine := range []sim.Engine{sim.EngineFast, sim.EngineDES} {
+		for _, terms := range terminals {
+			r := measureEngine(params, engine, terms, *reps)
+			runs = append(runs, r)
+			fmt.Fprintf(stdout, "%-4s %8d terminals: %11.0f terminal-slots/s (%.1f ns each)\n",
+				r.Engine, r.Terminals, r.TerminalSlotsPerSec, r.NsPerTerminalSlot)
+		}
+	}
+	hot := measureHotLoop()
+	fmt.Fprintf(stdout, "hot loop: %.1f ns/terminal-slot, %d allocs/op\n",
+		hot.NsPerTerminalSlot, hot.AllocsPerOp)
+
+	rep := buildReport(params, runs, hot)
+	for _, s := range rep.Speedups {
+		fmt.Fprintf(stdout, "speedup %8d terminals: %.2fx fast over des\n", s.Terminals, s.FastOverDES)
+	}
+	if err := writeReport(*out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return nil
+}
+
+// parseTerminals parses the -terminals list.
+func parseTerminals(list string) ([]int, error) {
+	var terminals []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("terminals %q: want a comma-separated list of positive counts", list)
+		}
+		terminals = append(terminals, n)
+	}
+	return terminals, nil
+}
+
+// defaultParams is the paper-typical workload every run measures under.
+func defaultParams(slots int64, shards int) Params {
+	return Params{
+		Model:      "2d",
+		Q:          paperdata.TableMoveProb,
+		C:          paperdata.TableCallProb,
+		UpdateCost: 100,
+		PollCost:   paperdata.TablePollCost,
+		MaxDelay:   3,
+		Threshold:  3,
+		Slots:      slots,
+		Shards:     shards,
+	}
+}
+
+// simConfig translates the report params into a simulator configuration.
+func simConfig(p Params, engine sim.Engine, terminals int) sim.Config {
+	return sim.Config{
+		Core: core.Config{
+			Model:    chain.TwoDimExact,
+			Params:   chain.Params{Q: p.Q, C: p.C},
+			Costs:    core.Costs{Update: p.UpdateCost, Poll: p.PollCost},
+			MaxDelay: p.MaxDelay,
+		},
+		Terminals: terminals,
+		Threshold: p.Threshold,
+		Seed:      1,
+		Engine:    engine,
+	}
+}
+
+// measureEngine benchmarks one engine at one population size, keeping the
+// best of reps repetitions (the minimum-noise estimate on a shared
+// machine).
+func measureEngine(p Params, engine sim.Engine, terminals, reps int) Run {
+	cfg := simConfig(p, engine, terminals)
+	best := testing.BenchmarkResult{}
+	for i := 0; i < reps; i++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunSharded(cfg, p.Slots, p.Shards); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if best.N == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	tslots := float64(terminals) * float64(p.Slots)
+	nsPerOp := float64(best.NsPerOp())
+	return Run{
+		Engine:              engine.String(),
+		Terminals:           terminals,
+		Shards:              p.Shards,
+		Slots:               p.Slots,
+		NsPerTerminalSlot:   nsPerOp / tslots,
+		TerminalSlotsPerSec: tslots / (nsPerOp / 1e9),
+		AllocsPerOp:         best.AllocsPerOp(),
+		BytesPerOp:          best.AllocedBytesPerOp(),
+	}
+}
+
+// measureHotLoop benchmarks the fast engine's steady-state slot loop: one
+// terminal, slots scaling with b.N, calls off so the loop is isolated
+// from the paging machinery (movement stays heavy: q = 0.5 crosses the
+// threshold and sends real updates through the wire codec).
+func measureHotLoop() HotLoop {
+	cfg := sim.Config{
+		Core: core.Config{
+			Model:    chain.TwoDimExact,
+			Params:   chain.Params{Q: 0.5, C: 0},
+			Costs:    core.Costs{Update: 100, Poll: 10},
+			MaxDelay: 3,
+		},
+		Terminals: 1,
+		Threshold: 3,
+		Seed:      1,
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		if _, err := sim.Run(cfg, int64(b.N)+1); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return HotLoop{
+		NsPerTerminalSlot: float64(res.NsPerOp()),
+		AllocsPerOp:       res.AllocsPerOp(),
+		BytesPerOp:        res.AllocedBytesPerOp(),
+	}
+}
+
+// buildReport assembles the document: the raw runs plus the per-population
+// fast-over-DES speedups derived from them.
+func buildReport(p Params, runs []Run, hot HotLoop) *Report {
+	byKey := make(map[string]Run, len(runs))
+	for _, r := range runs {
+		byKey[fmt.Sprintf("%s/%d", r.Engine, r.Terminals)] = r
+	}
+	var speedups []Speedup
+	for _, r := range runs {
+		if r.Engine != sim.EngineFast.String() {
+			continue
+		}
+		des, ok := byKey[fmt.Sprintf("%s/%d", sim.EngineDES.String(), r.Terminals)]
+		if !ok || r.TerminalSlotsPerSec <= 0 {
+			continue
+		}
+		speedups = append(speedups, Speedup{
+			Terminals:   r.Terminals,
+			FastOverDES: r.TerminalSlotsPerSec / des.TerminalSlotsPerSec,
+		})
+	}
+	return &Report{Schema: Schema, Params: p, Runs: runs, HotLoop: hot, Speedups: speedups}
+}
+
+// readReport decodes a report strictly: unknown fields are schema
+// violations, not extensions.
+func readReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// validateReport checks a report's internal invariants: schema tag,
+// positive finite measurements, both engines present for every population,
+// speedups consistent with the runs they derive from, and a zero-alloc
+// hot loop (the fast path's steady-state contract).
+func validateReport(r *Report) error {
+	if r.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	tsps := make(map[string]float64, len(r.Runs))
+	for i, run := range r.Runs {
+		if run.Engine != sim.EngineFast.String() && run.Engine != sim.EngineDES.String() {
+			return fmt.Errorf("run %d: unknown engine %q", i, run.Engine)
+		}
+		if run.Terminals <= 0 || run.Slots <= 0 || run.Shards <= 0 {
+			return fmt.Errorf("run %d: non-positive dimensions", i)
+		}
+		if !positiveFinite(run.NsPerTerminalSlot) || !positiveFinite(run.TerminalSlotsPerSec) {
+			return fmt.Errorf("run %d: non-positive measurements", i)
+		}
+		if run.AllocsPerOp < 0 || run.BytesPerOp < 0 {
+			return fmt.Errorf("run %d: negative allocation counts", i)
+		}
+		key := fmt.Sprintf("%s/%d", run.Engine, run.Terminals)
+		if _, dup := tsps[key]; dup {
+			return fmt.Errorf("run %d: duplicate %s", i, key)
+		}
+		tsps[key] = run.TerminalSlotsPerSec
+	}
+	for i, s := range r.Speedups {
+		fast, okF := tsps[fmt.Sprintf("fast/%d", s.Terminals)]
+		des, okD := tsps[fmt.Sprintf("des/%d", s.Terminals)]
+		if !okF || !okD {
+			return fmt.Errorf("speedup %d: no run pair at %d terminals", i, s.Terminals)
+		}
+		want := fast / des
+		if !positiveFinite(s.FastOverDES) || math.Abs(s.FastOverDES-want) > 1e-6*want {
+			return fmt.Errorf("speedup %d: %v inconsistent with runs (want %v)", i, s.FastOverDES, want)
+		}
+	}
+	if !positiveFinite(r.HotLoop.NsPerTerminalSlot) {
+		return fmt.Errorf("hot loop: non-positive cost")
+	}
+	if r.HotLoop.AllocsPerOp != 0 || r.HotLoop.BytesPerOp != 0 {
+		return fmt.Errorf("hot loop: %d allocs/op, %d B/op — the steady-state loop must not allocate",
+			r.HotLoop.AllocsPerOp, r.HotLoop.BytesPerOp)
+	}
+	return nil
+}
+
+func positiveFinite(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
+}
+
+// writeReport marshals the report with a trailing newline.
+func writeReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

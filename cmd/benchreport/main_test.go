@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeRuns builds a plausible pair of engine measurements without running
+// real benchmarks (which would take minutes); the report-assembly and
+// validation logic is what these tests pin down.
+func fakeRuns(p Params) []Run {
+	mk := func(engine string, terminals int, ns float64) Run {
+		tslots := float64(terminals) * float64(p.Slots)
+		return Run{
+			Engine:              engine,
+			Terminals:           terminals,
+			Shards:              p.Shards,
+			Slots:               p.Slots,
+			NsPerTerminalSlot:   ns,
+			TerminalSlotsPerSec: 1e9 / ns,
+			AllocsPerOp:         int64(tslots / 100),
+			BytesPerOp:          int64(tslots / 10),
+		}
+	}
+	return []Run{
+		mk("fast", 10_000, 13), mk("fast", 100_000, 13.5),
+		mk("des", 10_000, 40), mk("des", 100_000, 45),
+	}
+}
+
+func fakeReport() *Report {
+	p := defaultParams(256, 1)
+	hot := HotLoop{NsPerTerminalSlot: 25}
+	return buildReport(p, fakeRuns(p), hot)
+}
+
+// TestBuildReportSpeedups checks the derived speedups: one per population,
+// the ratio of the engines' throughputs.
+func TestBuildReportSpeedups(t *testing.T) {
+	rep := fakeReport()
+	if len(rep.Speedups) != 2 {
+		t.Fatalf("got %d speedups, want 2", len(rep.Speedups))
+	}
+	want := map[int]float64{10_000: 40.0 / 13, 100_000: 45.0 / 13.5}
+	for _, s := range rep.Speedups {
+		w, ok := want[s.Terminals]
+		if !ok {
+			t.Fatalf("unexpected speedup population %d", s.Terminals)
+		}
+		if diff := s.FastOverDES - w; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("speedup at %d terminals = %v, want %v", s.Terminals, s.FastOverDES, w)
+		}
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema %q", rep.Schema)
+	}
+}
+
+// TestValidateReport walks the invariants: the assembled report passes,
+// and each single-field corruption is caught with a diagnostic naming it.
+func TestValidateReport(t *testing.T) {
+	if err := validateReport(fakeReport()); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"wrong schema", func(r *Report) { r.Schema = "bench-engine/v0" }, "schema"},
+		{"no runs", func(r *Report) { r.Runs = nil }, "no runs"},
+		{"unknown engine", func(r *Report) { r.Runs[0].Engine = "warp" }, "unknown engine"},
+		{"zero throughput", func(r *Report) { r.Runs[1].TerminalSlotsPerSec = 0 }, "non-positive"},
+		{"duplicate run", func(r *Report) { r.Runs[1] = r.Runs[0] }, "duplicate"},
+		{"orphan speedup", func(r *Report) { r.Speedups[0].Terminals = 777 }, "no run pair"},
+		{"inconsistent speedup", func(r *Report) { r.Speedups[0].FastOverDES *= 2 }, "inconsistent"},
+		{"allocating hot loop", func(r *Report) { r.HotLoop.AllocsPerOp = 3 }, "must not allocate"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := fakeReport()
+			tc.mutate(rep)
+			err := validateReport(rep)
+			if err == nil {
+				t.Fatal("corrupted report accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateFileRoundTrip writes the assembled report and validates it
+// through the CLI path, then checks strict decoding rejects unknown
+// fields.
+func TestValidateFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	if err := writeReport(path, fakeReport()); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-validate", path}, &out); err != nil {
+		t.Fatalf("round-trip validation failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid bench-engine/v1 report") {
+		t.Errorf("confirmation missing from %q", out.String())
+	}
+
+	// An extension field must fail strict decoding.
+	var doc map[string]any
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["vendor_extension"] = true
+	data, err = json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-validate", path}, &strings.Builder{}); err == nil {
+		t.Error("report with unknown field validated")
+	}
+}
+
+// TestRunFlagValidation is the table-driven error-path coverage for the
+// CLI surface.
+func TestRunFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"bad terminals", []string{"-terminals", "10,x"}, "terminals"},
+		{"negative terminals", []string{"-terminals", "-5"}, "terminals"},
+		{"zero slots", []string{"-slots", "0"}, "slots"},
+		{"zero reps", []string{"-reps", "0"}, "reps"},
+		{"missing validate file", []string{"-validate", "no/such/report.json"}, "no such file"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, &strings.Builder{})
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseTerminals pins the list parser.
+func TestParseTerminals(t *testing.T) {
+	got, err := parseTerminals("10000, 100000,1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10_000 || got[1] != 100_000 || got[2] != 1_000_000 {
+		t.Errorf("parseTerminals = %v", got)
+	}
+	if _, err := parseTerminals(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}

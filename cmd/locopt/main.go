@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -23,21 +24,31 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("locopt: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	model := flag.String("model", "2d", "mobility model: 1d, 2d or 2d-approx")
-	q := flag.Float64("q", 0.05, "per-slot movement probability")
-	c := flag.Float64("c", 0.01, "per-slot call-arrival probability")
-	u := flag.Float64("U", 100, "location-update cost")
-	v := flag.Float64("V", 10, "per-cell polling cost")
-	m := flag.Int("m", 0, "maximum paging delay in polling cycles (0 = unbounded)")
-	maxD := flag.Int("maxd", 0, "scan bound for the threshold (0 = default 200)")
-	schemeName := flag.String("scheme", "sdf", "paging partition: sdf, blanket, per-ring, equal-cells, optimal-dp")
-	method := flag.String("method", "scan", "optimizer: scan, anneal, near, grouped or mean-delay")
-	meanDelay := flag.Float64("mean-delay", 1.5, "expected-delay budget in cycles for -method mean-delay")
-	seed := flag.Int64("seed", 1, "random seed for -method anneal")
-	curve := flag.Bool("curve", false, "print the full cost curve C_T(d)")
-	mapOut := flag.String("map", "", "write an SVG map of the optimal residing-area paging plan (2-D models)")
-	flag.Parse()
+// run is main minus the process scaffolding, so tests can drive the full
+// flag-to-output path in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("locopt", flag.ContinueOnError)
+	model := fs.String("model", "2d", "mobility model: 1d, 2d or 2d-approx")
+	q := fs.Float64("q", 0.05, "per-slot movement probability")
+	c := fs.Float64("c", 0.01, "per-slot call-arrival probability")
+	u := fs.Float64("U", 100, "location-update cost")
+	v := fs.Float64("V", 10, "per-cell polling cost")
+	m := fs.Int("m", 0, "maximum paging delay in polling cycles (0 = unbounded)")
+	maxD := fs.Int("maxd", 0, "scan bound for the threshold (0 = default 200)")
+	schemeName := fs.String("scheme", "sdf", "paging partition: sdf, blanket, per-ring, equal-cells, optimal-dp")
+	method := fs.String("method", "scan", "optimizer: scan, anneal, near, grouped or mean-delay")
+	meanDelay := fs.Float64("mean-delay", 1.5, "expected-delay budget in cycles for -method mean-delay")
+	seed := fs.Int64("seed", 1, "random seed for -method anneal")
+	curve := fs.Bool("curve", false, "print the full cost curve C_T(d)")
+	mapOut := fs.String("map", "", "write an SVG map of the optimal residing-area paging plan (2-D models)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var mdl locman.Model
 	switch *model {
@@ -48,11 +59,11 @@ func main() {
 	case "2d-approx":
 		mdl = locman.TwoDimensionalApprox
 	default:
-		log.Fatalf("unknown model %q (want 1d, 2d or 2d-approx)", *model)
+		return fmt.Errorf("unknown model %q (want 1d, 2d or 2d-approx)", *model)
 	}
 	scheme, err := locman.PartitionByName(*schemeName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg := locman.Config{
 		Model:        mdl,
@@ -78,62 +89,63 @@ func main() {
 	case "mean-delay":
 		res, err = locman.OptimizeMeanDelay(cfg, *meanDelay)
 	default:
-		log.Fatalf("unknown method %q (want scan, anneal, near, grouped or mean-delay)", *method)
+		return fmt.Errorf("unknown method %q (want scan, anneal, near, grouped or mean-delay)", *method)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	b := res.Best
-	fmt.Printf("model           %s\n", *model)
-	fmt.Printf("q, c            %g, %g\n", *q, *c)
-	fmt.Printf("U, V            %g, %g\n", *u, *v)
+	fmt.Fprintf(stdout, "model           %s\n", *model)
+	fmt.Fprintf(stdout, "q, c            %g, %g\n", *q, *c)
+	fmt.Fprintf(stdout, "U, V            %g, %g\n", *u, *v)
 	if *m == 0 {
-		fmt.Printf("max delay       unbounded\n")
+		fmt.Fprintf(stdout, "max delay       unbounded\n")
 	} else {
-		fmt.Printf("max delay       %d polling cycles\n", *m)
+		fmt.Fprintf(stdout, "max delay       %d polling cycles\n", *m)
 	}
-	fmt.Printf("partition       %s\n", scheme.Name())
-	fmt.Printf("optimal d*      %d\n", b.Threshold)
-	fmt.Printf("update cost     %.6f per slot\n", b.Update)
-	fmt.Printf("paging cost     %.6f per slot\n", b.Paging)
-	fmt.Printf("total cost      %.6f per slot\n", b.Total)
-	fmt.Printf("expected delay  %.3f cycles (worst case %d)\n", b.ExpectedDelay, b.MaxCycles)
-	fmt.Printf("evaluations     %d\n", res.Evaluations)
+	fmt.Fprintf(stdout, "partition       %s\n", scheme.Name())
+	fmt.Fprintf(stdout, "optimal d*      %d\n", b.Threshold)
+	fmt.Fprintf(stdout, "update cost     %.6f per slot\n", b.Update)
+	fmt.Fprintf(stdout, "paging cost     %.6f per slot\n", b.Paging)
+	fmt.Fprintf(stdout, "total cost      %.6f per slot\n", b.Total)
+	fmt.Fprintf(stdout, "expected delay  %.3f cycles (worst case %d)\n", b.ExpectedDelay, b.MaxCycles)
+	fmt.Fprintf(stdout, "evaluations     %d\n", res.Evaluations)
 
 	if *curve && res.Curve != nil {
-		fmt.Println("\nd  C_T(d)")
+		fmt.Fprintln(stdout, "\nd  C_T(d)")
 		for d, v := range res.Curve {
 			marker := ""
 			if d == b.Threshold {
 				marker = "  <-- d*"
 			}
-			fmt.Fprintf(os.Stdout, "%-3d%.6f%s\n", d, v, marker)
+			fmt.Fprintf(stdout, "%-3d%.6f%s\n", d, v, marker)
 		}
 	}
 
 	if *mapOut != "" {
 		if mdl == locman.OneDimensional {
-			log.Fatal("-map requires a 2-D model")
+			return fmt.Errorf("-map requires a 2-D model")
 		}
 		mcfg := cfg
 		mcfg.MaxDelay = b.MaxCycles // the plan actually chosen
 		rc, err := locman.RingCycles(mcfg, b.Threshold)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		f, err := os.Create(*mapOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		title := fmt.Sprintf("residing area d=%d, %d polling cycles (%s)", b.Threshold, b.MaxCycles, scheme.Name())
 		if err := svgplot.HexMap(f, title, b.Threshold, rc); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\npaging plan map written to %s\n", *mapOut)
+		fmt.Fprintf(stdout, "\npaging plan map written to %s\n", *mapOut)
 	}
+	return nil
 }

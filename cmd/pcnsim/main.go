@@ -161,8 +161,14 @@ func main() {
 		"capture a telemetry snapshot frame every N slots (0 = off)")
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof and expvar live shard progress on this address")
+	engineName := flag.String("engine", "fast",
+		"simulation engine: fast (slot-batched) or des (reference event-driven); results are bit-identical")
 	flag.Parse()
 
+	engine, err := locman.EngineByName(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var mdl locman.Model
 	switch *model {
 	case "1d":
@@ -194,6 +200,7 @@ func main() {
 		},
 		SnapshotEvery: *telemetryEvery,
 		Seed:          *seed,
+		Engine:        engine,
 	}
 	if *outages != "" {
 		windows, err := parseOutages(*outages)

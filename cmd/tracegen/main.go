@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -25,20 +26,30 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	gen := flag.Bool("gen", false, "generate a trace")
-	replay := flag.String("replay", "", "replay the trace in this file")
-	model := flag.String("model", "2d", "grid for -gen: 1d or 2d")
-	q := flag.Float64("q", 0.05, "movement probability for -gen")
-	c := flag.Float64("c", 0.01, "call probability for -gen")
-	slots := flag.Int64("slots", 1_000_000, "trace length for -gen")
-	seed := flag.Uint64("seed", 1, "generator seed")
-	out := flag.String("out", "trace.csv", "output file for -gen (.csv or .jsonl)")
-	d := flag.Int("d", 3, "threshold distance for -replay")
-	m := flag.Int("m", 0, "max paging delay for -replay (0 = unbounded)")
-	u := flag.Float64("U", 100, "update cost for -replay")
-	v := flag.Float64("V", 10, "poll cost for -replay")
-	flag.Parse()
+// run is main minus the process scaffolding, so tests can drive the full
+// flag-to-output path in-process.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	gen := fs.Bool("gen", false, "generate a trace")
+	replay := fs.String("replay", "", "replay the trace in this file")
+	model := fs.String("model", "2d", "grid for -gen: 1d or 2d")
+	q := fs.Float64("q", 0.05, "movement probability for -gen")
+	c := fs.Float64("c", 0.01, "call probability for -gen")
+	slots := fs.Int64("slots", 1_000_000, "trace length for -gen")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("out", "trace.csv", "output file for -gen (.csv or .jsonl)")
+	d := fs.Int("d", 3, "threshold distance for -replay")
+	m := fs.Int("m", 0, "max paging delay for -replay (0 = unbounded)")
+	u := fs.Float64("U", 100, "update cost for -replay")
+	v := fs.Float64("V", 10, "poll cost for -replay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch {
 	case *gen:
@@ -46,15 +57,15 @@ func main() {
 		if *model == "1d" {
 			kind = grid.OneDim
 		} else if *model != "2d" {
-			log.Fatalf("unknown model %q", *model)
+			return fmt.Errorf("unknown model %q", *model)
 		}
 		tr, err := trace.Generate(kind, chain.Params{Q: *q, C: *c}, *slots, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		if strings.HasSuffix(*out, ".jsonl") {
@@ -63,17 +74,17 @@ func main() {
 			err = trace.WriteCSV(f, tr)
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %s: %d slots, %d events\n", *out, tr.Slots, len(tr.Events))
+		fmt.Fprintf(stdout, "wrote %s: %d slots, %d events\n", *out, tr.Slots, len(tr.Events))
 
 	case *replay != "":
 		f, err := os.Open(*replay)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		var tr *trace.Trace
@@ -83,24 +94,24 @@ func main() {
 			tr, err = trace.ReadCSV(f)
 		}
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		res, err := trace.Replay(tr, *d, *m, core.Costs{Update: *u, Poll: *v}, nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("trace          %s (%d slots, %d events)\n", *replay, tr.Slots, len(tr.Events))
-		fmt.Printf("threshold d    %d, max delay %s\n", *d, delayName(*m))
-		fmt.Printf("updates        %d\n", res.Updates)
-		fmt.Printf("calls          %d (polled %d cells, mean delay %.3f cycles)\n",
+		fmt.Fprintf(stdout, "trace          %s (%d slots, %d events)\n", *replay, tr.Slots, len(tr.Events))
+		fmt.Fprintf(stdout, "threshold d    %d, max delay %s\n", *d, delayName(*m))
+		fmt.Fprintf(stdout, "updates        %d\n", res.Updates)
+		fmt.Fprintf(stdout, "calls          %d (polled %d cells, mean delay %.3f cycles)\n",
 			res.Calls, res.PolledCells, res.Delay.Mean())
-		fmt.Printf("per-slot cost  %.6f (update %.6f + paging %.6f)\n",
+		fmt.Fprintf(stdout, "per-slot cost  %.6f (update %.6f + paging %.6f)\n",
 			res.TotalCost, res.UpdateCost, res.PagingCost)
 
 	default:
-		flag.Usage()
-		os.Exit(2)
+		return fmt.Errorf("choose a mode: -gen or -replay FILE")
 	}
+	return nil
 }
 
 func delayName(m int) string {

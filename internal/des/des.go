@@ -89,6 +89,38 @@ func (s *Scheduler) Step() bool {
 	return true
 }
 
+// SeqMark returns the insertion stamp the next scheduled event will
+// receive. Together with RunBefore it lets a caller replay the FIFO
+// tie-break among same-time events without keeping those events on this
+// scheduler: an event scheduled after a mark loses ties against the mark.
+func (s *Scheduler) SeqMark() uint64 { return s.seq }
+
+// RunBefore dispatches every queued event that precedes the scheduling
+// point (t, seq): events with timestamps strictly before t, plus events at
+// exactly t whose insertion stamp is below seq. Events scheduled during
+// the run are dispatched too if they precede the point. The clock advances
+// to each dispatched event's time but never past it; it is not advanced to
+// t (use AdvanceTo). It returns the number of events dispatched.
+func (s *Scheduler) RunBefore(t Time, seq uint64) uint64 {
+	start := s.ran
+	for len(s.q) > 0 && (s.q[0].at < t || (s.q[0].at == t && s.q[0].seq < seq)) {
+		s.Step()
+	}
+	return s.ran - start
+}
+
+// AdvanceTo moves the clock forward to t without dispatching anything.
+// Advancing past a pending event would silently reorder the simulation, so
+// that panics: the caller must RunBefore (or otherwise dispatch) first.
+func (s *Scheduler) AdvanceTo(t Time) {
+	if len(s.q) > 0 && s.q[0].at < t {
+		panic(fmt.Sprintf("des: advancing to %d past pending event at %d", t, s.q[0].at))
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
 // RunUntil dispatches events with timestamps ≤ deadline (inclusive) and
 // advances the clock to deadline. Events scheduled during the run are
 // dispatched too if they fall within the deadline. It returns the number

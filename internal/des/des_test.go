@@ -122,6 +122,100 @@ func TestProcessedCounter(t *testing.T) {
 	}
 }
 
+func TestRunBeforeStopsAtMark(t *testing.T) {
+	var s Scheduler
+	var order []int
+	s.At(10, func() { order = append(order, 1) }) // before t: runs
+	s.At(20, func() { order = append(order, 2) }) // at t, stamped before mark: runs
+	mark := s.SeqMark()
+	s.At(20, func() { order = append(order, 3) }) // at t, stamped after mark: held
+	s.At(30, func() { order = append(order, 4) }) // past t: held
+
+	if n := s.RunBefore(20, mark); n != 2 {
+		t.Fatalf("dispatched %d events, want 2", n)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+	if s.Now() != 20 {
+		t.Errorf("clock = %d, want 20 (last dispatched event)", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want the two held events", s.Pending())
+	}
+	// The held boundary event is released by a later mark at the same time.
+	if n := s.RunBefore(21, s.SeqMark()); n != 1 {
+		t.Errorf("release dispatched %d events, want 1", n)
+	}
+	if len(order) != 3 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+}
+
+// TestRunBeforeFollowsRescheduling pins that events scheduled during the
+// run are themselves dispatched when they precede the point — the paging
+// chains the fast path drains within a slot are exactly such cascades.
+func TestRunBeforeFollowsRescheduling(t *testing.T) {
+	var s Scheduler
+	hits := 0
+	var chase func()
+	chase = func() {
+		hits++
+		if hits < 5 {
+			s.After(1, chase)
+		}
+	}
+	s.At(0, chase)
+	mark := s.SeqMark()
+	s.At(10, func() { t.Error("event at the point, stamped after the mark, must not run") })
+	if n := s.RunBefore(10, mark); n != 5 {
+		t.Errorf("dispatched %d events, want the 5-link chain", n)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var s Scheduler
+	s.AdvanceTo(40)
+	if s.Now() != 40 {
+		t.Errorf("clock = %d, want 40", s.Now())
+	}
+	s.AdvanceTo(10) // never moves backwards
+	if s.Now() != 40 {
+		t.Errorf("clock = %d after backwards advance, want 40", s.Now())
+	}
+	// Advancing onto a pending event's exact time is fine: it has not
+	// been skipped, only reached.
+	s.At(50, func() {})
+	s.AdvanceTo(50)
+	if s.Now() != 50 {
+		t.Errorf("clock = %d, want 50", s.Now())
+	}
+}
+
+func TestAdvanceToPastPendingPanics(t *testing.T) {
+	var s Scheduler
+	s.At(10, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("advancing past a pending event did not panic")
+		}
+	}()
+	s.AdvanceTo(11)
+}
+
+func TestSeqMarkGrowsWithScheduling(t *testing.T) {
+	var s Scheduler
+	m0 := s.SeqMark()
+	s.At(1, func() {})
+	if m1 := s.SeqMark(); m1 <= m0 {
+		t.Errorf("mark did not grow: %d then %d", m0, m1)
+	}
+	s.Drain()
+	if m2 := s.SeqMark(); m2 != s.SeqMark() {
+		t.Error("mark changed without scheduling")
+	}
+}
+
 func TestSelfPerpetuatingChainWithRunUntil(t *testing.T) {
 	var s Scheduler
 	ticks := 0

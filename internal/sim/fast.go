@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"repro/internal/des"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// The slot-batched fast path (EngineFast).
+//
+// The reference engine pays the full discrete-event machinery for every
+// slot of every terminal — a heap-driven sweep event, a map increment and
+// two Bernoulli draws per terminal-slot — even though under the paper's
+// parameters (q, c ≪ 1) the overwhelming majority of terminal-slots do
+// nothing that needs an event queue at all. The fast path inverts the
+// loop: it walks terminals in memory order and advances each one
+// slot-by-slot in a tight loop, drawing the call/movement outcomes
+// straight from the terminal's positional RNG stream with precomputed
+// integer Bernoulli thresholds. On a pure slot — no queued timers — the
+// scheduler is not touched at all: paging exchanges run inline through
+// fastPage (allocation-free, with explicit tick bookkeeping), and only
+// update/ack/retry machinery arms the small per-terminal scheduler, after
+// which the affected slots fall back to the event path until the queue
+// drains.
+//
+// Bit-identity with the reference engine is a contract, not an accident
+// (see TestFastPathEquivalence). It rests on three facts:
+//
+//  1. Per-terminal draw order is untouched. The pure-slot loop replicates
+//     network.sweepSlot's draw order — call, then movement, then the
+//     in-move direction — with stats.BernoulliT draws that consume the
+//     identical stream positions (stats.BernoulliThreshold documents the
+//     exactness), fastPage replays the paging chain's loss draws in chain
+//     order, and fallback slots run sweepSlot itself.
+//
+//  2. Cross-terminal state is commutative. Terminals meet only in
+//     integer counters, fixed-bucket histograms, per-terminal HLR
+//     records and the threshold-keyed paging-plan cache, so reordering
+//     the sweeps across terminals cannot change any result. (callSeq
+//     values are assigned in a different order, but calls are compared
+//     only for equality within one terminal's paging chain and wire
+//     encodings are fixed-length, so nothing observable shifts.)
+//
+//  3. Per-terminal event timing replays the reference tie-break. Within
+//     one terminal, the reference engine orders a queued event against a
+//     slot boundary by (time, insertion order) against that slot's sweep
+//     event, whose insertion stamp is assigned at the end of the
+//     previous slot's sweep. The fast path reproduces the stamp with
+//     SeqMark after each sweep that touches the scheduler
+//     (fastTerm.preSweep) and splits each armed slot into the same two
+//     phases with RunBefore: events due before the sweep, then the
+//     sweep, then events due before the next boundary. Pure slots leave
+//     the mark alone — the per-terminal insertion counter only advances
+//     when something is scheduled, so the stale mark still classifies
+//     every queued event exactly as the reference engine's growing
+//     global counter would.
+type fastTerm struct {
+	sched des.Scheduler
+	// preSweep is where the reference engine's next slot-sweep event
+	// would sit in this terminal's insertion order: the SeqMark taken
+	// after the previous scheduler-touching slot's sweep. A queued event
+	// on the slot boundary runs before the boundary's sweep (and before
+	// any telemetry capture) exactly when its stamp is below the mark.
+	preSweep uint64
+	// curD and runLen batch the per-slot threshold-usage accounting:
+	// runLen consecutive slots spent at threshold curD, flushed to
+	// Metrics.ThresholdSlots only when the threshold changes or the run
+	// ends — the reference engine's per-terminal-slot map increment is
+	// the single largest cost it pays.
+	curD   int
+	runLen int64
+}
+
+// flushThreshold credits the batched threshold-usage run. Flushes always
+// carry runLen ≥ 1 once a slot has run, so the map never grows
+// zero-valued keys the reference engine would not have.
+func (ft *fastTerm) flushThreshold(m *Metrics) {
+	if ft.runLen > 0 {
+		m.ThresholdSlots[ft.curD] += ft.runLen
+	}
+}
+
+// fastPage is network.page run to completion inline, without scheduling a
+// single event: the polling-cycle chain is a per-terminal linear sequence
+// of strictly later ticks, so with an empty terminal queue (the caller's
+// precondition) executing it synchronously is indistinguishable from the
+// event-driven version — the loss draws come in identical chain order,
+// pageSuccessAt is stamped with the tick the resolution event would have
+// carried, and the return value is exactly the number of events the
+// reference engine's chain would have processed, so Metrics.Events still
+// matches. Structurally this is page() with each sched.After(τ, step)
+// replaced by falling through to step's body and counting the event.
+func (n *network) fastPage(t *terminal, base des.Time) uint64 {
+	rec := *n.hlrAt(t.id)
+	n.callSeq++
+	call := n.callSeq
+	info := n.partitionFor(rec.threshold)
+	ring := n.loc.dist(t.pos, rec.center)
+	n.metrics.Calls++
+	n.term(t.id).Calls++
+
+	// See page(): the subarea whose polls reach the terminal, or −1 when
+	// the registered record cannot contain it.
+	target := -1
+	if ring < len(info.ringSubarea) {
+		target = info.ringSubarea[ring]
+	} else {
+		n.metrics.FallbackCalls++
+	}
+
+	events := uint64(1) // the kickoff event that carries the first cycle
+	for j := 0; j < len(info.part); j++ {
+		sub := info.part[j]
+		cyc := uint8(j + 1)
+		if j+1 > 255 {
+			cyc = 255
+		}
+		poll := wire.Poll{Terminal: t.id, Cell: rec.center, Call: call, Cycle: cyc}
+		n.scratch = poll.Encode(n.scratch[:0])
+		n.metrics.PolledCells += int64(sub.Cells)
+		n.term(t.id).PolledCells += int64(sub.Cells)
+		n.metrics.PollBytes += int64(sub.Cells * len(n.scratch))
+		if j == target && n.pollHeard(t) {
+			events++ // the reply-resolution event one tick later
+			if n.replyDelivered(t, call) {
+				// Cycle j runs at base+1+2j; its reply resolves at +1.
+				n.pageSuccessAt(t, j+1, base+des.Time(2+2*j))
+				return events
+			}
+		}
+		events++ // the event carrying the next cycle (or the first round)
+	}
+	for r := 1; ; r++ {
+		if r > n.cfg.Faults.PageRetries {
+			n.metrics.DroppedCalls++
+			return events
+		}
+		n.metrics.RePolls++
+		radius := rec.threshold + r
+		cells := n.diskCells(radius)
+		cyc := uint8(255)
+		if c := len(info.part) + r; c <= 255 {
+			cyc = uint8(c)
+		}
+		poll := wire.Poll{Terminal: t.id, Cell: rec.center, Call: call, Cycle: cyc}
+		n.scratch = poll.Encode(n.scratch[:0])
+		n.metrics.PolledCells += int64(cells)
+		n.term(t.id).PolledCells += int64(cells)
+		n.metrics.PollBytes += int64(cells * len(n.scratch))
+		if ring <= radius && n.pollHeard(t) {
+			events++ // the reply-resolution event one tick later
+			if n.replyDelivered(t, call) {
+				// Round r runs at base+1+2·len(part)+2(r−1); reply at +1.
+				n.pageSuccessAt(t, len(info.part)+r, base+des.Time(2*len(info.part)+2*r))
+				return events
+			}
+		}
+		events++ // the event carrying the next round
+	}
+}
+
+// runShardFast simulates terminals [lo, hi) with the slot-batched fast
+// path. It produces bit-identical shardResults to runShard for every
+// configuration: same Metrics, same telemetry frame series, same
+// histograms. Slots are processed in batches bounded by the telemetry
+// cadence so each snapshot observes exactly the state the reference
+// engine would capture at that boundary.
+func runShardFast(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
+	n, terms, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
+	if err != nil {
+		return shardResult{}, err
+	}
+
+	fts := make([]fastTerm, len(terms))
+	for i := range fts {
+		fts[i].curD = startD
+	}
+
+	every := cfg.Telemetry.SnapshotEvery
+	prog := cfg.Telemetry.Progress
+	dyn := cfg.Dynamic
+	var frames []telemetry.ShardFrame
+	// subEvents counts dispatched sub-slot events across all terminals —
+	// the fast path schedules no sweep events, so this is directly the
+	// reference engine's Processed() minus its slot sweeps.
+	var subEvents uint64
+
+	for cur := int64(0); cur < slots; {
+		next := slots
+		if every > 0 {
+			if b := (cur/every + 1) * every; b < next {
+				next = b
+			}
+		}
+		last := next == slots
+		for i := range terms {
+			t := &terms[i]
+			ft := &fts[i]
+			sched := &ft.sched
+			n.sched = sched
+			rng := t.rng
+			callT := stats.BernoulliThreshold(t.params.C)
+			moveT := stats.BernoulliThreshold(t.moveProb)
+			for s := cur; s < next; {
+				if sched.Pending() > 0 || (dyn && s > 0 && s%cfg.ReoptimizeEvery == 0) {
+					// Slow slot: queued timers force the full two-phase
+					// event path around the sweep, and a reoptimization
+					// boundary needs the scheduler clock either way.
+					base := des.Time(s) * SlotTicks
+					if sched.Pending() > 0 {
+						subEvents += sched.RunBefore(base, ft.preSweep)
+					}
+					sched.AdvanceTo(base)
+					if t.threshold == ft.curD {
+						ft.runLen++
+					} else {
+						ft.flushThreshold(n.metrics)
+						ft.curD = t.threshold
+						ft.runLen = 1
+					}
+					n.sweepSlot(t)
+					if dyn && s > 0 && s%cfg.ReoptimizeEvery == 0 {
+						n.reoptimize(t)
+					}
+					ft.preSweep = sched.SeqMark()
+					if sched.Pending() > 0 {
+						subEvents += sched.RunBefore(base+SlotTicks, ft.preSweep)
+					}
+					s++
+					continue
+				}
+				// Pure stretch: nothing queued and no reoptimization
+				// boundary until stop, so the scheduler stays cold unless
+				// a slot arms it — and the threshold is invariant (only
+				// reoptimize moves it), letting the whole stretch's usage
+				// be accounted in one batch afterwards.
+				stop := next
+				if dyn {
+					if b := (s/cfg.ReoptimizeEvery + 1) * cfg.ReoptimizeEvery; b < stop {
+						stop = b
+					}
+				}
+				start := s
+				for s < stop {
+					called := rng.BernoulliT(callT)
+					moved := false
+					touched := false
+					if called {
+						subEvents += n.fastPage(t, des.Time(s)*SlotTicks)
+					} else if rng.BernoulliT(moveT) {
+						moved = true
+						t.pos = n.loc.move(t.pos, rng)
+						if n.loc.dist(t.pos, t.center) > t.threshold {
+							// sendUpdate reads the clock (outage windows)
+							// and may arm the ack timer, so the scheduler
+							// must be advanced to this slot first.
+							sched.AdvanceTo(des.Time(s) * SlotTicks)
+							t.center = t.pos
+							n.sendUpdate(t)
+							touched = true
+						}
+					}
+					if dyn {
+						t.est.observe(moved, called)
+					}
+					s++
+					if touched {
+						// Same phase-two tail as a slow slot: refresh the
+						// sweep mark, dispatch anything due before the
+						// next boundary, and drop back to the per-slot
+						// path while the scheduler stays armed.
+						ft.preSweep = sched.SeqMark()
+						if sched.Pending() > 0 {
+							subEvents += sched.RunBefore(des.Time(s)*SlotTicks, ft.preSweep)
+							break
+						}
+					}
+				}
+				// The slots of [start, s) all ran at the current (and
+				// unchanged) threshold.
+				if t.threshold == ft.curD {
+					ft.runLen += s - start
+				} else {
+					ft.flushThreshold(n.metrics)
+					ft.curD = t.threshold
+					ft.runLen = s - start
+				}
+			}
+			if last {
+				// Late timers (retransmission backoffs reaching past the
+				// run's end) still resolve, exactly as the reference
+				// engine's final drain runs them.
+				subEvents += sched.Drain()
+				ft.flushThreshold(n.metrics)
+			}
+		}
+		cur = next
+		prog.Set(shard, cur, uint64(cur)+subEvents)
+		if every > 0 {
+			// Interior boundaries land on the telemetry cadence; the
+			// final frame always lands on the run boundary, covering the
+			// whole run including the drained late timers — the same
+			// series the reference engine captures.
+			frames = append(frames, n.snapshot(cur, subEvents))
+		}
+	}
+
+	n.metrics.Events = subEvents
+	return shardResult{metrics: finishShard(n, terms, slots), frames: frames}, nil
+}

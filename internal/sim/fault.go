@@ -21,6 +21,13 @@ const (
 	maxUpdateRetries = 32
 )
 
+// ExplicitZero requests a literal zero for the FaultPlan knobs whose zero
+// value means "use the default" (AckTimeout, PageRetries). Config
+// validation folds the sentinel to zero before the engines see it, so
+// FaultPlan{PageRetries: ExplicitZero} drops unanswered calls after the
+// nominal plan with no recovery rounds at all.
+const ExplicitZero = -1
+
 // FaultPlan injects independent signalling-plane failure modes into a run
 // and configures the recovery machinery that absorbs them. The zero value
 // is the perfect signalling plane the paper assumes: no losses, no
@@ -50,9 +57,13 @@ type FaultPlan struct {
 	UpdateRetries int
 	// AckTimeout is the first retransmission timeout in scheduler ticks
 	// (0 means DefaultAckTimeout); retry k waits AckTimeout<<k ticks.
+	// ExplicitZero requests a literal zero, which is valid only while
+	// UpdateRetries is 0 (an acked exchange needs a positive timeout).
 	AckTimeout int64
 	// PageRetries is the recovery paging round budget (0 means
-	// DefaultPageRetries). Recovery round r blanket-polls every cell
+	// DefaultPageRetries, ExplicitZero means no recovery rounds: calls
+	// unanswered after the nominal plan are dropped immediately).
+	// Recovery round r blanket-polls every cell
 	// within radius threshold+r of the registered center — re-covering
 	// in-area terminals whose poll or reply was lost and expanding
 	// ring by ring toward terminals that drifted out after lost updates.
@@ -118,8 +129,12 @@ func (f FaultPlan) validate() error {
 		return fmt.Errorf("sim: update retry budget %d exceeds %d (backoff overflow)",
 			f.UpdateRetries, maxUpdateRetries)
 	}
-	if f.AckTimeout <= 0 {
-		return fmt.Errorf("sim: ack timeout %d ticks must be positive", f.AckTimeout)
+	if f.AckTimeout < 0 {
+		return fmt.Errorf("sim: ack timeout %d ticks must not be negative", f.AckTimeout)
+	}
+	if f.AckTimeout == 0 && f.UpdateRetries > 0 {
+		return fmt.Errorf("sim: ack timeout 0 with update retries %d: acked exchanges need a positive timeout",
+			f.UpdateRetries)
 	}
 	if f.PageRetries < 0 {
 		return fmt.Errorf("sim: negative paging retry budget %d", f.PageRetries)

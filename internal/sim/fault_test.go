@@ -368,3 +368,55 @@ func TestFaultPlanValidation(t *testing.T) {
 		t.Fatalf("good config rejected: %v", err)
 	}
 }
+
+// TestExplicitZeroFaultKnobs is the regression for the withDefaults fix:
+// a zero AckTimeout/PageRetries means "unset" and takes the default, so a
+// caller who wants a literal zero says so with the ExplicitZero sentinel —
+// previously indistinguishable and silently overwritten.
+func TestExplicitZeroFaultKnobs(t *testing.T) {
+	lossy := func() Config {
+		cfg := baseConfig(chain.TwoDimExact, 0.2, 0.05, 2, 3)
+		cfg.Terminals = 8
+		cfg.Faults = FaultPlan{PollLoss: 0.4}
+		return cfg
+	}
+
+	// An unset budget takes the default and the recovery rounds absorb
+	// the injected poll losses; an explicit zero budget drops every call
+	// the nominal plan misses. The two runs must actually diverge, or the
+	// sentinel is being folded into the default again.
+	unset := lossy()
+	withDefault, err := Run(unset, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := lossy()
+	explicit.Faults.PageRetries = ExplicitZero
+	withZero, err := Run(explicit, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDefault.DroppedCalls != 0 {
+		t.Errorf("default retry budget dropped %d calls", withDefault.DroppedCalls)
+	}
+	if withZero.DroppedCalls == 0 {
+		t.Error("explicit zero retry budget dropped no calls: sentinel ignored")
+	}
+
+	// An explicitly zero ack timeout is fine while updates are
+	// fire-and-forget, and rejected once the acked exchange needs a
+	// timer.
+	fire := lossy()
+	fire.Faults.AckTimeout = ExplicitZero
+	if _, err := Run(fire, 100); err != nil {
+		t.Errorf("explicit zero ack timeout without retries rejected: %v", err)
+	}
+	acked := lossy()
+	acked.Faults.AckTimeout = ExplicitZero
+	acked.Faults.UpdateRetries = 2
+	if _, err := Run(acked, 100); err == nil {
+		t.Error("explicit zero ack timeout with retries accepted")
+	} else if !strings.Contains(err.Error(), "ack timeout") {
+		t.Errorf("error %q does not mention the ack timeout", err)
+	}
+}

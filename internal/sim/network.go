@@ -22,19 +22,34 @@ type partInfo struct {
 // one shard of the terminal population (the whole population in a
 // single-engine run).
 type network struct {
-	cfg     Config
-	loc     locator
-	sched   *des.Scheduler
-	hlr     map[uint32]hlrRecord
+	cfg   Config
+	loc   locator
+	sched *des.Scheduler
+	// hlr holds the shard's location registry, indexed by id − first:
+	// terminal ids are dense within a shard, so the registry is a flat
+	// slice rather than a map. Every slot is provisioned at construction
+	// time (newShardNetwork), so lookups never miss.
+	hlr     []hlrRecord
 	metrics *Metrics
 	parts   map[int]partInfo
-	first   uint32 // global id of the shard's first terminal
-	callSeq uint32
-	scratch []byte // reused encode buffer for byte accounting
+	// lastD/lastPart memoize the most recent partitionFor answer: paging
+	// plans are keyed by threshold, and runs overwhelmingly page at one
+	// (or very few) thresholds, so the map is rarely consulted twice.
+	lastD    int
+	lastPart partInfo
+	first    uint32 // global id of the shard's first terminal
+	callSeq  uint32
+	scratch  []byte // reused encode buffer for byte accounting
 }
 
 func (n *network) term(id uint32) *TerminalStats {
 	return &n.metrics.PerTerminal[id-n.first]
+}
+
+// hlrAt returns the registry record for terminal id. Ids outside the
+// shard are a bug and fail loudly on the slice bounds check.
+func (n *network) hlrAt(id uint32) *hlrRecord {
+	return &n.hlr[id-n.first]
 }
 
 // partitionFor returns (building and caching on demand) the paging plan for
@@ -42,7 +57,11 @@ func (n *network) term(id uint32) *TerminalStats {
 // distribution of the network's configured average parameters — the best
 // information the fixed network has.
 func (n *network) partitionFor(d int) partInfo {
+	if d == n.lastD {
+		return n.lastPart
+	}
 	if pi, ok := n.parts[d]; ok {
+		n.lastD, n.lastPart = d, pi
 		return pi
 	}
 	rings := n.cfg.Core.Model.Grid().RingSizes(d)
@@ -64,6 +83,7 @@ func (n *network) partitionFor(d int) partInfo {
 	}
 	pi := partInfo{part: part, ringSubarea: ringSub}
 	n.parts[d] = pi
+	n.lastD, n.lastPart = d, pi
 	return pi
 }
 
@@ -96,9 +116,18 @@ func (n *network) markDesynced(t *terminal) {
 // on the terminal's recovery-latency accumulator (folded in id order at
 // merge time, like the delay accumulator) and the fixed-bucket histogram.
 func (n *network) markSynced(t *terminal) {
+	n.markSyncedAt(t, n.sched.Now())
+}
+
+// markSyncedAt is markSynced at an explicit virtual time, for callers that
+// run ahead of the scheduler clock (the fast path's inline paging
+// exchange): the recovery latency has sub-slot resolution, so the tick the
+// episode closes at must be the one the event-driven exchange would have
+// reached.
+func (n *network) markSyncedAt(t *terminal, now des.Time) {
 	if t.desynced {
 		t.desynced = false
-		latency := float64(n.sched.Now()-t.desyncedAt) / SlotTicks
+		latency := float64(now-t.desyncedAt) / SlotTicks
 		n.term(t.id).Recovery.Add(latency)
 		n.metrics.RecoveryHist.Add(latency)
 	}
@@ -142,8 +171,8 @@ func (n *network) transmitUpdate(t *terminal) {
 		if err != nil {
 			panic(fmt.Sprintf("sim: self-encoded update failed to decode: %v", err))
 		}
-		if rec, ok := n.hlr[dec.Terminal]; !ok || dec.Seq > rec.seq {
-			n.hlr[dec.Terminal] = hlrRecord{
+		if rec := n.hlrAt(dec.Terminal); dec.Seq > rec.seq {
+			*rec = hlrRecord{
 				center:    dec.Cell,
 				seq:       dec.Seq,
 				threshold: int(dec.Threshold),
@@ -190,7 +219,7 @@ func (n *network) ackTimeout(t *terminal, seq uint32) {
 // register stores a terminal's initial location without charging it as a
 // mechanism update (it models subscription-time provisioning).
 func (n *network) register(u wire.Update) {
-	n.hlr[u.Terminal] = hlrRecord{center: u.Cell, seq: u.Seq, threshold: int(u.Threshold)}
+	*n.hlrAt(u.Terminal) = hlrRecord{center: u.Cell, seq: u.Seq, threshold: int(u.Threshold)}
 }
 
 // pollHeard reports whether a poll broadcast covering t's current cell
@@ -219,9 +248,7 @@ func (n *network) replyDelivered(t *terminal, call uint32) bool {
 	if err != nil {
 		panic(fmt.Sprintf("sim: self-encoded reply failed to decode: %v", err))
 	}
-	r := n.hlr[t.id]
-	r.center = dec.Cell
-	n.hlr[t.id] = r
+	n.hlrAt(t.id).center = dec.Cell
 	return true
 }
 
@@ -231,10 +258,16 @@ func (n *network) replyDelivered(t *terminal, call uint32) bool {
 // own accumulator; the aggregate is folded in id order at merge time so it
 // is independent of the shard count.
 func (n *network) pageSuccess(t *terminal, cycles int) {
+	n.pageSuccessAt(t, cycles, n.sched.Now())
+}
+
+// pageSuccessAt is pageSuccess at an explicit virtual time (see
+// markSyncedAt).
+func (n *network) pageSuccessAt(t *terminal, cycles int, now des.Time) {
 	t.center = t.pos
 	n.term(t.id).Delay.Add(float64(cycles))
 	n.metrics.DelayHist.Add(float64(cycles))
-	n.markSynced(t)
+	n.markSyncedAt(t, now)
 }
 
 // diskCells counts the cells within the given ring radius of a center.
@@ -263,10 +296,7 @@ func (n *network) diskCells(radius int) int {
 // unanswered after FaultPlan.PageRetries rounds is dropped and counted in
 // Metrics.DroppedCalls — never a NotFound panic.
 func (n *network) page(t *terminal) {
-	rec, ok := n.hlr[t.id]
-	if !ok {
-		panic(fmt.Sprintf("sim: paging unregistered terminal %d", t.id))
-	}
+	rec := *n.hlrAt(t.id)
 	n.callSeq++
 	call := n.callSeq
 	info := n.partitionFor(rec.threshold)
@@ -354,6 +384,37 @@ func (n *network) page(t *terminal) {
 		n.sched.After(2, func() { cycle(j + 1) })
 	}
 	n.sched.After(1, func() { cycle(0) })
+}
+
+// sweepSlot runs one slot's worth of terminal activity for t: the call
+// arrival draw (paging on a hit), otherwise the movement draw (threshold
+// crossings send updates), then the dynamic scheme's estimator update.
+// The draw order — call, then movement, then the in-move direction — is
+// the per-terminal RNG contract the fast path's bit-identity rests on:
+// the reference engine runs this method every slot, the fast path
+// replicates the same draws inline on its pure slots (runShardFast) and
+// falls back to this method whenever queued events are in play. Note
+// Bernoulli always consumes a draw, even at probability zero, so the
+// sequence is the same whatever the outcomes. Threshold-usage accounting
+// stays with the callers: the reference engine counts every
+// terminal-slot as it sweeps, the fast path batches runs of unchanged
+// thresholds.
+func (n *network) sweepSlot(t *terminal) {
+	called := t.rng.Bernoulli(t.params.C)
+	moved := false
+	if called {
+		n.page(t)
+	} else if t.rng.Bernoulli(t.moveProb) {
+		moved = true
+		t.pos = n.loc.move(t.pos, t.rng)
+		if n.loc.dist(t.pos, t.center) > t.threshold {
+			t.center = t.pos
+			n.sendUpdate(t)
+		}
+	}
+	if n.cfg.Dynamic {
+		t.est.observe(moved, called)
+	}
 }
 
 // reoptimize recomputes terminal t's threshold from its online estimates

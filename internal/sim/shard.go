@@ -60,11 +60,15 @@ func RunSharded(cfg Config, slots int64, shards int) (*Metrics, error) {
 		loc = lineLocator{}
 	}
 
+	engine := runShard
+	if cfg.Engine == EngineFast {
+		engine = runShardFast
+	}
 	cfg.Telemetry.Progress.Init(shards)
 	parts, err := sweep.Map(shards, 0, func(s int) (shardResult, error) {
 		lo := s * cfg.Terminals / shards
 		hi := (s + 1) * cfg.Terminals / shards
-		return runShard(cfg, slots, s, lo, hi, startD, loc)
+		return engine(cfg, slots, s, lo, hi, startD, loc)
 	})
 	if err != nil {
 		return nil, err
@@ -113,6 +117,11 @@ func validate(cfg Config, slots int64) error {
 	if cfg.Telemetry.SnapshotEvery < 0 {
 		return fmt.Errorf("sim: negative telemetry snapshot cadence %d", cfg.Telemetry.SnapshotEvery)
 	}
+	switch cfg.Engine {
+	case EngineFast, EngineDES:
+	default:
+		return fmt.Errorf("sim: unknown engine %d", int(cfg.Engine))
+	}
 	// A full paging exchange — the nominal plan (at most MaxThreshold+2
 	// cycles) plus every recovery round — must finish inside the arrival
 	// slot, or paging would overlap the next movement opportunity.
@@ -137,18 +146,18 @@ func startThreshold(cfg Config) (int, error) {
 	return res.Best.Threshold, nil
 }
 
-// runShard simulates terminals [lo, hi) of the global population on one
-// discrete-event engine. Its Metrics carry only this shard's share:
-// Terminals is hi−lo, PerTerminal holds records for ids lo..hi−1 and
-// Events counts sub-slot events only (the caller adds the slot sweeps
-// once after merging). shard is the shard's index, used only for
-// telemetry (progress reporting).
-func runShard(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
+// newShardNetwork builds the starting state both engines share for
+// terminals [lo, hi) of the global population: the network (HLR
+// provisioned with every terminal's initial registration, shard-sized
+// metrics) and the terminal population itself, laid out contiguously so
+// the engines' sweeps walk memory in order.
+func newShardNetwork(cfg Config, slots int64, lo, hi, startD int, loc locator) (*network, []terminal, error) {
 	n := &network{
 		cfg:   cfg,
 		loc:   loc,
 		first: uint32(lo),
-		hlr:   make(map[uint32]hlrRecord, hi-lo),
+		hlr:   make([]hlrRecord, hi-lo),
+		lastD: -1, // 0 is a valid threshold; the plan memo starts empty
 		metrics: &Metrics{
 			Slots:          slots,
 			Terminals:      hi - lo,
@@ -161,31 +170,58 @@ func runShard(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (
 		parts: make(map[int]partInfo),
 	}
 
-	terms := make([]*terminal, hi-lo)
+	terms := make([]terminal, hi-lo)
 	for g := lo; g < hi; g++ {
 		p := cfg.Core.Params
 		if cfg.PerTerminal != nil {
 			p = cfg.PerTerminal(g)
 			if err := p.Validate(); err != nil {
-				return shardResult{}, fmt.Errorf("sim: terminal %d: %w", g, err)
+				return nil, nil, fmt.Errorf("sim: terminal %d: %w", g, err)
 			}
 		}
-		t := &terminal{
-			id:        uint32(g),
-			params:    p,
-			rng:       stats.SubStream(cfg.Seed, uint64(g)),
-			est:       estimator{alpha: cfg.EWMAAlpha},
-			threshold: startD,
-		}
+		t := &terms[g-lo]
+		t.id = uint32(g)
+		t.params = p
+		t.rng = stats.SubStream(cfg.Seed, uint64(g))
+		t.est = estimator{alpha: cfg.EWMAAlpha}
+		t.threshold = startD
 		if p.Q > 0 {
 			t.moveProb = p.Q / (1 - p.C)
 		}
-		terms[g-lo] = t
 		n.metrics.PerTerminal[g-lo].ID = g
 		// Initial registration (subscription-time provisioning, not a
 		// mechanism update, so it is implicitly acknowledged).
 		n.register(t.makeUpdate())
 		t.ackedSeq = t.seq
+	}
+	return n, terms, nil
+}
+
+// finishShard folds the per-terminal tail metrics (mean cost rate, final
+// threshold) and recomputes the shard's aggregates; both engines end here.
+func finishShard(n *network, terms []terminal, slots int64) *Metrics {
+	m := n.metrics
+	for i := range m.PerTerminal {
+		ts := &m.PerTerminal[i]
+		ts.TotalCost = (float64(ts.Updates)*n.cfg.Core.Costs.Update +
+			float64(ts.PolledCells)*n.cfg.Core.Costs.Poll) / float64(slots)
+		ts.FinalThreshold = terms[i].threshold
+	}
+	m.recompute()
+	return m
+}
+
+// runShard simulates terminals [lo, hi) of the global population on one
+// discrete-event engine — the reference EngineDES implementation the fast
+// path is differentially tested against. Its Metrics carry only this
+// shard's share: Terminals is hi−lo, PerTerminal holds records for ids
+// lo..hi−1 and Events counts sub-slot events only (the caller adds the
+// slot sweeps once after merging). shard is the shard's index, used only
+// for telemetry (progress reporting).
+func runShard(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
+	n, terms, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
+	if err != nil {
+		return shardResult{}, err
 	}
 
 	var sched des.Scheduler
@@ -214,27 +250,14 @@ func runShard(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (
 			// The current slot event is already counted in Processed.
 			capture(cur, uint64(cur)+1)
 		}
-		for _, t := range terms {
+		for i := range terms {
+			t := &terms[i]
 			n.metrics.ThresholdSlots[t.threshold]++
-			called := t.rng.Bernoulli(t.params.C)
-			moved := false
-			if called {
-				n.page(t)
-			} else if t.rng.Bernoulli(t.moveProb) {
-				moved = true
-				t.pos = loc.move(t.pos, t.rng)
-				if loc.dist(t.pos, t.center) > t.threshold {
-					t.center = t.pos
-					n.sendUpdate(t)
-				}
-			}
-			if cfg.Dynamic {
-				t.est.observe(moved, called)
-			}
+			n.sweepSlot(t)
 		}
 		if cfg.Dynamic && cur > 0 && cur%cfg.ReoptimizeEvery == 0 {
-			for _, t := range terms {
-				n.reoptimize(t)
+			for i := range terms {
+				n.reoptimize(&terms[i])
 			}
 		}
 		cur++
@@ -252,16 +275,8 @@ func runShard(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (
 	}
 	prog.Set(shard, slots, sched.Processed())
 
-	m := n.metrics
-	m.Events = sched.Processed() - uint64(slots)
-	for i := range m.PerTerminal {
-		ts := &m.PerTerminal[i]
-		ts.TotalCost = (float64(ts.Updates)*cfg.Core.Costs.Update +
-			float64(ts.PolledCells)*cfg.Core.Costs.Poll) / float64(slots)
-		ts.FinalThreshold = terms[i].threshold
-	}
-	m.recompute()
-	return shardResult{metrics: m, frames: frames}, nil
+	n.metrics.Events = sched.Processed() - uint64(slots)
+	return shardResult{metrics: finishShard(n, terms, slots), frames: frames}, nil
 }
 
 // snapshot captures one telemetry frame of the shard's cumulative state:

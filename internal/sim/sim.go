@@ -18,6 +18,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/chain"
 	"repro/internal/core"
 	"repro/internal/des"
@@ -33,6 +35,49 @@ import (
 // analytical model's assumption that paging is instantaneous relative to
 // mobility.
 const SlotTicks = 2048
+
+// Engine selects the simulation engine implementation. Both engines
+// produce bit-identical Metrics, telemetry series and histograms for every
+// configuration — the equivalence contract enforced by
+// TestFastPathEquivalence — so the choice is purely about speed.
+type Engine int
+
+const (
+	// EngineFast is the slot-batched fast path (the default): terminals
+	// advance slot by slot in a tight terminal-major loop that draws
+	// movement/call outcomes straight from their RNG streams, touching
+	// event-queue machinery only for the slots where paging, ack/retry or
+	// fault handling actually fires. See runShardFast.
+	EngineFast Engine = iota
+	// EngineDES is the reference event-driven engine: one discrete-event
+	// scheduler per shard sweeps the whole population every slot. It is
+	// the specification the fast path is differentially tested against.
+	EngineDES
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineFast:
+		return "fast"
+	case EngineDES:
+		return "des"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// EngineByName resolves "fast" or "des", for CLI flags.
+func EngineByName(name string) (Engine, error) {
+	switch name {
+	case "fast":
+		return EngineFast, nil
+	case "des":
+		return EngineDES, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown engine %q (want fast or des)", name)
+	}
+}
 
 // Config parameterizes a simulation run.
 type Config struct {
@@ -79,6 +124,10 @@ type Config struct {
 	// (Seed, i) — never on the population size ordering or the shard
 	// partition (see RunSharded).
 	Seed uint64
+	// Engine selects the simulation engine. The zero value is EngineFast,
+	// the slot-batched fast path; EngineDES selects the reference
+	// event-driven engine. Both produce bit-identical results.
+	Engine Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -94,11 +143,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxThreshold == 0 {
 		c.MaxThreshold = 50
 	}
-	if c.Faults.AckTimeout == 0 {
+	// A zero AckTimeout/PageRetries means "unset": most callers never
+	// touch the recovery knobs. Callers that genuinely want zero say so
+	// with the ExplicitZero sentinel, which is folded to a literal zero
+	// here so the engines and validation never see the sentinel.
+	switch c.Faults.AckTimeout {
+	case 0:
 		c.Faults.AckTimeout = DefaultAckTimeout
+	case ExplicitZero:
+		c.Faults.AckTimeout = 0
 	}
-	if c.Faults.PageRetries == 0 {
+	switch c.Faults.PageRetries {
+	case 0:
 		c.Faults.PageRetries = DefaultPageRetries
+	case ExplicitZero:
+		c.Faults.PageRetries = 0
 	}
 	return c
 }

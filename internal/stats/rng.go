@@ -76,6 +76,32 @@ func (r *RNG) Bernoulli(p float64) bool {
 	return r.Float64() < p
 }
 
+// BernoulliThreshold precomputes the integer threshold T for which
+// BernoulliT(T) draws exactly like Bernoulli(p): both consume one Uint64
+// and agree on every draw. The equivalence is exact, not approximate:
+// Float64 is float64(u>>11) / 2^53 with u>>11 < 2^53, and both the int-to-
+// float conversion and the division by a power of two are lossless, so
+// Float64() < p holds iff u>>11 < p·2^53 in real arithmetic. p·2^53 is
+// itself exact (a float64 scaled by a power of two), so comparing against
+// its ceiling as an integer reproduces the strict inequality bit for bit.
+func BernoulliThreshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// BernoulliT draws a Bernoulli outcome against a threshold precomputed by
+// BernoulliThreshold. Hot loops hoist the threshold out of the per-draw
+// path, replacing Bernoulli's float conversion and comparison with one
+// integer compare while consuming the identical stream position.
+func (r *RNG) BernoulliT(t uint64) bool {
+	return r.Uint64()>>11 < t
+}
+
 // Split derives an independent generator, for giving each simulated
 // terminal its own stream. The derived stream depends on how many times
 // the parent has been consumed, so Split is order-dependent; use SubStream

@@ -242,6 +242,38 @@ func TestRNGBernoulli(t *testing.T) {
 	}
 }
 
+// TestBernoulliThresholdMatchesBernoulli checks the exact-equivalence
+// claim on BernoulliThreshold: for any p, BernoulliT(BernoulliThreshold(p))
+// agrees with Bernoulli(p) on every draw of the same stream — including p
+// values engineered to sit a single ulp away from a representable draw.
+func TestBernoulliThresholdMatchesBernoulli(t *testing.T) {
+	ps := []float64{0, 1, 0.5, 0.3, 0.05, 0.01, 1e-9, 1 - 1e-12,
+		math.Nextafter(0.5, 0), math.Nextafter(0.5, 1),
+		1.0 / (1 << 53), math.Nextafter(1.0/(1<<53), 0),
+		-0.2, 1.5, // clamped like Bernoulli's comparison treats them
+	}
+	for _, p := range ps {
+		thr := BernoulliThreshold(p)
+		a, b := NewRNG(77), NewRNG(77)
+		for i := 0; i < 4096; i++ {
+			if got, want := a.BernoulliT(thr), b.Bernoulli(p); got != want {
+				t.Fatalf("p=%v draw %d: BernoulliT=%v Bernoulli=%v", p, i, got, want)
+			}
+		}
+	}
+	// Adversarial: p exactly on each representable draw boundary must keep
+	// the strict inequality (draw == p stays false).
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		u := r.Uint64() >> 11
+		p := float64(u) / (1 << 53)
+		thr := BernoulliThreshold(p)
+		if (u < thr) != (float64(u)/(1<<53) < p) {
+			t.Fatalf("boundary p=%v u=%d: threshold %d flips the strict compare", p, u, thr)
+		}
+	}
+}
+
 func TestRNGIntnPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -65,6 +65,47 @@ func TestSubStreamUniformity(t *testing.T) {
 	}
 }
 
+// TestSubStreamInterleavingInvariance pins the contract the fast-path
+// engine rests on: a stream's draw sequence depends only on (seed, id),
+// never on how draws on sibling streams interleave with it. The fast
+// engine iterates terminals in a completely different order than the
+// event-driven engine, so any cross-stream coupling would break their
+// bit-identity.
+func TestSubStreamInterleavingInvariance(t *testing.T) {
+	const seed, id = 9, 5
+	want := make([]uint64, 64)
+	r := SubStream(seed, id)
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+
+	// Replay the same stream one draw at a time, firing bursts of mixed
+	// draw kinds on neighbours and far-away siblings between draws.
+	replay := SubStream(seed, id)
+	siblings := []*RNG{
+		SubStream(seed, id-1),
+		SubStream(seed, id+1),
+		SubStream(seed, 1<<40),
+	}
+	for i := range want {
+		for j, s := range siblings {
+			for k := 0; k <= (i+j)%3; k++ {
+				switch k % 3 {
+				case 0:
+					s.Uint64()
+				case 1:
+					s.Float64()
+				case 2:
+					s.Intn(6)
+				}
+			}
+		}
+		if got := replay.Uint64(); got != want[i] {
+			t.Fatalf("draw %d = %x under interleaving, want %x", i, got, want[i])
+		}
+	}
+}
+
 func TestSubStreamMatchesSplitmixBlocks(t *testing.T) {
 	// The documented construction: stream id's state words are the four
 	// splitmix64 outputs at positions 4·id+1 … 4·id+4 of the sequence

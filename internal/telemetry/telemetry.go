@@ -34,7 +34,11 @@ type Config struct {
 	// Progress, when non-nil, receives live per-shard progress updates
 	// (current slot, events processed) over atomic counters; poll
 	// Progress.Snapshot from another goroutine (e.g. an expvar handler)
-	// while the run is in flight.
+	// while the run is in flight. Update granularity is engine-dependent:
+	// the reference engine publishes after every slot, the fast engine
+	// once per slot batch (the telemetry cadence, or the whole run when
+	// SnapshotEvery is zero). Both engines agree at every batch boundary,
+	// so polled values are always a prefix of the same trajectory.
 	Progress *Progress
 }
 

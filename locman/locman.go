@@ -295,7 +295,27 @@ type NetworkConfig struct {
 	Progress *Progress
 	// Seed seeds the deterministic simulation.
 	Seed uint64
+	// Engine selects the simulation engine: EngineFast (the zero value)
+	// is the slot-batched fast path, EngineDES the reference event-driven
+	// engine. Both produce bit-identical metrics, telemetry series and
+	// histograms for every configuration; the choice is purely speed.
+	Engine Engine
 }
+
+// Engine selects the PCN simulation engine implementation; see
+// NetworkConfig.Engine.
+type Engine = sim.Engine
+
+// Engine implementations.
+const (
+	// EngineFast is the slot-batched fast path (the default).
+	EngineFast = sim.EngineFast
+	// EngineDES is the reference event-driven engine.
+	EngineDES = sim.EngineDES
+)
+
+// EngineByName resolves "fast" or "des", for CLI flags.
+func EngineByName(name string) (Engine, error) { return sim.EngineByName(name) }
 
 // FaultPlan configures fault injection and recovery for the PCN system
 // simulation; see the sim package for field semantics.
@@ -340,7 +360,8 @@ func (cfg NetworkConfig) simConfig() sim.Config {
 			SnapshotEvery: cfg.SnapshotEvery,
 			Progress:      cfg.Progress,
 		},
-		Seed: cfg.Seed,
+		Seed:   cfg.Seed,
+		Engine: cfg.Engine,
 	}
 	if sc.Faults.UpdateLoss == 0 {
 		sc.Faults.UpdateLoss = cfg.UpdateLossProb

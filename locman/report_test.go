@@ -49,6 +49,32 @@ func buildReport(t *testing.T) *Report {
 	return NewReport(m)
 }
 
+// TestReportEngineEquivalence is the public-API face of the fast path's
+// bit-identity contract: the full Report JSON — counters, costs,
+// histograms, telemetry snapshot series — is byte-identical whichever
+// engine produced it. (TestReportGolden already pins the fast engine, the
+// default, against the checked-in golden document.)
+func TestReportEngineEquivalence(t *testing.T) {
+	marshal := func(e Engine) []byte {
+		t.Helper()
+		cfg := reportConfig()
+		cfg.Engine = e
+		m, err := SimulateNetworkSharded(cfg, 2_000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(NewReport(m), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	fast, des := marshal(EngineFast), marshal(EngineDES)
+	if !bytes.Equal(fast, des) {
+		t.Errorf("report JSON diverged between engines\nfast:\n%s\ndes:\n%s", fast, des)
+	}
+}
+
 // TestReportGolden pins the exact JSON document a deterministic run
 // produces — field names, ordering and bit-exact values. Any schema
 // change must show up as a golden diff (and bump ReportSchema when
