@@ -16,6 +16,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/svgplot"
 	"repro/locman"
@@ -40,7 +41,8 @@ func run(args []string, stdout io.Writer) error {
 	v := fs.Float64("V", 10, "per-cell polling cost")
 	m := fs.Int("m", 0, "maximum paging delay in polling cycles (0 = unbounded)")
 	maxD := fs.Int("maxd", 0, "scan bound for the threshold (0 = default 200)")
-	schemeName := fs.String("scheme", "sdf", "paging partition: sdf, blanket, per-ring, equal-cells, optimal-dp")
+	schemeName := fs.String("scheme", "sdf",
+		"paging partition: "+strings.Join(locman.PartitionNames(), ", "))
 	method := fs.String("method", "scan", "optimizer: scan, anneal, near, grouped or mean-delay")
 	meanDelay := fs.Float64("mean-delay", 1.5, "expected-delay budget in cycles for -method mean-delay")
 	seed := fs.Int64("seed", 1, "random seed for -method anneal")
@@ -63,7 +65,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	scheme, err := locman.PartitionByName(*schemeName)
 	if err != nil {
-		return err
+		return fmt.Errorf("-scheme: %w", err)
 	}
 	cfg := locman.Config{
 		Model:        mdl,

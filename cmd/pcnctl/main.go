@@ -1,0 +1,362 @@
+// Command pcnctl is the client for the pcnserve job service:
+//
+//	pcnctl -addr http://localhost:8080 submit -q 0.05 -c 0.01 -U 100 -V 10 \
+//	       -m 3 -terminals 50 -slots 200000 -wait > report.json
+//	pcnctl list
+//	pcnctl get j000001
+//	pcnctl watch j000001
+//	pcnctl cancel j000001
+//	pcnctl result j000001 > report.json
+//
+// submit mirrors the pcnsim flag surface (including the fault-injection
+// flags) and posts the job spec; with -wait it follows the job's NDJSON
+// stream, reporting progress on stderr, and prints the final report on
+// stdout. The report bytes are copied verbatim from the service, so
+// `pcnctl submit ... -wait` output is byte-identical to `pcnsim -json`
+// run with the same configuration.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/locman"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcnctl: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const usage = `usage: pcnctl [-addr URL] <command> [flags]
+
+commands:
+  submit    submit a job (flags mirror pcnsim; -wait follows it to completion)
+  get       print one job document:        pcnctl get <id>
+  list      print all jobs
+  watch     stream a job's NDJSON frames:  pcnctl watch <id>
+  cancel    cancel a job:                  pcnctl cancel <id>
+  result    print a finished job's report: pcnctl result <id>
+`
+
+// run is the testable entry point: it parses the global flags and
+// dispatches the subcommand, writing documents to stdout and progress
+// chatter to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	global := flag.NewFlagSet("pcnctl", flag.ContinueOnError)
+	global.SetOutput(stderr)
+	global.Usage = func() { fmt.Fprint(stderr, usage) }
+	addr := global.String("addr", "http://localhost:8080", "pcnserve base URL")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		fmt.Fprint(stderr, usage)
+		return fmt.Errorf("missing command")
+	}
+	c := &client{base: strings.TrimRight(*addr, "/")}
+
+	cmd, rest := rest[0], rest[1:]
+	switch cmd {
+	case "submit":
+		return c.submit(rest, stdout, stderr)
+	case "get":
+		id, err := oneID(cmd, rest)
+		if err != nil {
+			return err
+		}
+		return c.printJSON(stdout, "GET", "/api/v1/jobs/"+id, nil)
+	case "list":
+		return c.printJSON(stdout, "GET", "/api/v1/jobs", nil)
+	case "cancel":
+		id, err := oneID(cmd, rest)
+		if err != nil {
+			return err
+		}
+		return c.printJSON(stdout, "POST", "/api/v1/jobs/"+id+"/cancel", nil)
+	case "watch":
+		id, err := oneID(cmd, rest)
+		if err != nil {
+			return err
+		}
+		return c.copyBody(stdout, "/api/v1/jobs/"+id+"/stream")
+	case "result":
+		id, err := oneID(cmd, rest)
+		if err != nil {
+			return err
+		}
+		return c.copyBody(stdout, "/api/v1/jobs/"+id+"/result")
+	default:
+		fmt.Fprint(stderr, usage)
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// oneID extracts the single <id> operand a command expects.
+func oneID(cmd string, rest []string) (string, error) {
+	if len(rest) != 1 {
+		return "", fmt.Errorf("usage: pcnctl %s <job-id>", cmd)
+	}
+	return rest[0], nil
+}
+
+// submit parses the pcnsim-mirroring flag surface into a job Spec,
+// posts it, and either prints the accepted job document or (-wait)
+// follows the stream and prints the final report verbatim.
+func (c *client) submit(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcnctl submit", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "2d", "mobility model: 1d or 2d")
+	q := fs.Float64("q", 0.05, "per-slot movement probability")
+	cc := fs.Float64("c", 0.01, "per-slot call-arrival probability")
+	u := fs.Float64("U", 100, "location-update cost")
+	v := fs.Float64("V", 10, "per-cell polling cost")
+	m := fs.Int("m", 3, "maximum paging delay in polling cycles (0 = unbounded)")
+	terminals := fs.Int("terminals", 20, "number of mobile terminals")
+	slots := fs.Int64("slots", 200_000, "time slots to simulate")
+	threshold := fs.Int("d", -1, "static threshold (-1 = network-optimized)")
+	dynamic := fs.Bool("dynamic", false, "per-terminal online estimation and re-optimization")
+	reoptEvery := fs.Int64("reoptimize-every", 0,
+		"dynamic re-optimization period in slots (0 = engine default)")
+	partition := fs.String("partition", "",
+		"paging partitioner: "+strings.Join(locman.PartitionNames(), ", ")+" (default sdf)")
+	loss := fs.Float64("loss", 0, "update-message loss probability (failure injection)")
+	pollLoss := fs.Float64("poll-loss", 0, "downlink paging-poll loss probability")
+	replyLoss := fs.Float64("reply-loss", 0, "uplink paging-reply loss probability")
+	updateRetries := fs.Int("update-retries", 0,
+		"acked-update retransmission budget (0 = fire-and-forget updates)")
+	ackTimeout := fs.Int64("ack-timeout", 0,
+		"first retransmission timeout in scheduler ticks (0 = default)")
+	pageRetries := fs.Int("page-retries", 0,
+		"recovery paging rounds before a call is dropped (0 = default)")
+	outages := fs.String("outage", "",
+		"HLR outage windows in slots, e.g. 1000:2000,5000:5500")
+	telemetryEvery := fs.Int64("telemetry-every", 0,
+		"capture a telemetry snapshot frame every N slots (0 = off)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
+		"parallel simulation shards (results are identical for any shard count)")
+	engine := fs.String("engine", "fast",
+		"simulation engine: "+strings.Join(locman.EngineNames(), " or "))
+	timeoutSec := fs.Float64("timeout", 0,
+		"per-job wall-clock deadline in seconds (0 = none)")
+	wait := fs.Bool("wait", false,
+		"follow the job to completion and print the final report on stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("submit: unexpected operand %q", fs.Arg(0))
+	}
+
+	spec := jobs.Spec{
+		Model:           *model,
+		MoveProb:        *q,
+		CallProb:        *cc,
+		UpdateCost:      *u,
+		PollCost:        *v,
+		MaxDelay:        *m,
+		Partition:       *partition,
+		Terminals:       *terminals,
+		Slots:           *slots,
+		Shards:          *shards,
+		Dynamic:         *dynamic,
+		ReoptimizeEvery: *reoptEvery,
+		SnapshotEvery:   *telemetryEvery,
+		Seed:            *seed,
+		Engine:          *engine,
+		TimeoutSec:      *timeoutSec,
+	}
+	if *threshold >= 0 {
+		spec.Threshold = threshold
+	}
+	faults := jobs.FaultSpec{
+		UpdateLoss:    *loss,
+		PollLoss:      *pollLoss,
+		ReplyLoss:     *replyLoss,
+		UpdateRetries: *updateRetries,
+		AckTimeout:    *ackTimeout,
+		PageRetries:   *pageRetries,
+	}
+	if *outages != "" {
+		windows, err := parseOutages(*outages)
+		if err != nil {
+			return err
+		}
+		faults.Outages = windows
+	}
+	if faults.UpdateLoss != 0 || faults.PollLoss != 0 || faults.ReplyLoss != 0 ||
+		faults.UpdateRetries != 0 || faults.AckTimeout != 0 || faults.PageRetries != 0 ||
+		len(faults.Outages) > 0 {
+		spec.Faults = &faults
+	}
+
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do("POST", "/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	accepted, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var view jobs.View
+	if err := json.Unmarshal(accepted, &view); err != nil {
+		return fmt.Errorf("submit: undecodable response: %w", err)
+	}
+	if !*wait {
+		_, err := stdout.Write(accepted)
+		return err
+	}
+
+	fmt.Fprintf(stderr, "submitted %s, waiting\n", view.ID)
+	state, err := c.follow(view.ID, stderr)
+	if err != nil {
+		return err
+	}
+	if state != jobs.StateDone {
+		return fmt.Errorf("job %s finished %s", view.ID, state)
+	}
+	// The report is fetched from /result and copied verbatim: these are
+	// the service's stored bytes, identical to pcnsim -json output.
+	return c.copyBody(stdout, "/api/v1/jobs/"+view.ID+"/result")
+}
+
+// follow consumes a job's NDJSON stream, narrating progress to stderr,
+// and returns the terminal state from the final result frame.
+func (c *client) follow(id string, stderr io.Writer) (jobs.State, error) {
+	resp, err := c.do("GET", "/api/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	last := jobs.State("")
+	for sc.Scan() {
+		var f server.StreamFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return "", fmt.Errorf("watch %s: bad frame %q: %w", id, sc.Text(), err)
+		}
+		switch f.Type {
+		case "state":
+			fmt.Fprintf(stderr, "%s: %s\n", id, f.State)
+		case "progress":
+			if f.TotalTerminalSlots > 0 {
+				fmt.Fprintf(stderr, "%s: %s %.1f%% (%d/%d terminal-slots)\n", id, f.State,
+					100*float64(f.TerminalSlots)/float64(f.TotalTerminalSlots),
+					f.TerminalSlots, f.TotalTerminalSlots)
+			}
+		case "result":
+			if f.Error != "" {
+				fmt.Fprintf(stderr, "%s: %s: %s\n", id, f.State, f.Error)
+			} else {
+				fmt.Fprintf(stderr, "%s: %s\n", id, f.State)
+			}
+			return f.State, nil
+		}
+		last = f.State
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("watch %s: %w", id, err)
+	}
+	return last, fmt.Errorf("watch %s: stream ended without a result frame", id)
+}
+
+// parseOutages parses comma-separated start:end slot windows, matching
+// the pcnsim -outage syntax.
+func parseOutages(s string) ([]jobs.OutageSpec, error) {
+	var out []jobs.OutageSpec
+	for _, w := range strings.Split(s, ",") {
+		start, end, ok := strings.Cut(w, ":")
+		if !ok {
+			return nil, fmt.Errorf("outage window %q is not start:end", w)
+		}
+		a, err := strconv.ParseInt(strings.TrimSpace(start), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("outage window %q: %v", w, err)
+		}
+		b, err := strconv.ParseInt(strings.TrimSpace(end), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("outage window %q: %v", w, err)
+		}
+		out = append(out, jobs.OutageSpec{Start: a, End: b})
+	}
+	return out, nil
+}
+
+// client is a minimal pcnserve API client.
+type client struct {
+	base string
+	hc   http.Client
+}
+
+// do performs one request and turns non-2xx responses into errors using
+// the service's {"error": "..."} body.
+func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
+		}
+		return nil, fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	return resp, nil
+}
+
+// printJSON performs a request and copies the JSON document to stdout.
+func (c *client) printJSON(stdout io.Writer, method, path string, body io.Reader) error {
+	resp, err := c.do(method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(stdout, resp.Body)
+	return err
+}
+
+// copyBody streams a GET response body to stdout verbatim.
+func (c *client) copyBody(stdout io.Writer, path string) error {
+	resp, err := c.do("GET", path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(stdout, resp.Body)
+	return err
+}

@@ -1,0 +1,94 @@
+// Command pcnserve is the long-running simulation job service: it
+// accepts PCN simulation jobs over an HTTP/JSON API, runs them on a
+// bounded worker pool backed by the sharded engines, streams telemetry
+// while they run, and exposes the operational endpoints a deployment
+// needs (/healthz, /readyz, Prometheus-text /metrics).
+//
+//	pcnserve -addr :8080 -workers 4 -queue 64
+//
+// Jobs are deterministic: a job submitted with a given seed and shard
+// count produces a final report byte-identical to running pcnsim -json
+// with the same configuration. On SIGTERM/SIGINT the daemon flips
+// /readyz to draining, stops accepting jobs, cancels what is still
+// queued or running once the drain timeout expires, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcnserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"concurrent simulation jobs (each job additionally shards across cores)")
+	queue := flag.Int("queue", 64,
+		"bounded submission queue depth; submissions beyond it are rejected with 429")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for queued and running jobs before cancelling them")
+	streamInterval := flag.Duration("stream-interval", 500*time.Millisecond,
+		"cadence of progress frames on job NDJSON streams")
+	flag.Parse()
+
+	if *workers <= 0 {
+		log.Fatalf("-workers must be positive, got %d", *workers)
+	}
+	if *queue <= 0 {
+		log.Fatalf("-queue must be positive, got %d", *queue)
+	}
+	if *drainTimeout <= 0 {
+		log.Fatalf("-drain-timeout must be positive, got %v", *drainTimeout)
+	}
+
+	mgr := jobs.New(jobs.Options{QueueDepth: *queue, Workers: *workers})
+	srv := server.New(mgr, server.Options{StreamInterval: *streamInterval})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	log.Printf("serving on http://%s (%d workers, queue depth %d)",
+		ln.Addr(), *workers, *queue)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %s, draining (timeout %v)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Graceful shutdown: flip readiness first so load balancers stop
+	// routing, then drain the job queue (cancelling leftovers at the
+	// deadline), then close the listener once in-flight responses finish.
+	srv.SetReady(false)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		log.Printf("drain timeout expired, cancelled remaining jobs: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("shutdown complete")
+}

@@ -162,12 +162,13 @@ func main() {
 	pprofAddr := flag.String("pprof", "",
 		"serve net/http/pprof and expvar live shard progress on this address")
 	engineName := flag.String("engine", "fast",
-		"simulation engine: fast (slot-batched) or des (reference event-driven); results are bit-identical")
+		"simulation engine: "+strings.Join(locman.EngineNames(), " or ")+
+			" (slot-batched vs reference event-driven); results are bit-identical")
 	flag.Parse()
 
 	engine, err := locman.EngineByName(*engineName)
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("-engine: %v", err)
 	}
 	var mdl locman.Model
 	switch *model {

@@ -1,18 +1,26 @@
-// Command schemacheck validates a pcnsim -json document on stdin: it must
-// decode into locman.Report with no unknown fields and satisfy the
-// report's cross-field invariants. CI pipes a smoke run through it so any
-// drift between the emitted JSON and the published schema fails the
-// build.
+// Command schemacheck validates the project's machine-readable JSON
+// documents on stdin against their published schemas. -kind selects the
+// document type:
 //
 //	pcnsim -terminals 200 -slots 2000 -telemetry-every 500 -json | schemacheck
+//	pcnctl get j000001 | schemacheck -kind job
+//
+// "report" (the default) is a pcnsim -json / pcnserve result document:
+// it must decode into locman.Report with no unknown fields and satisfy
+// the report's cross-field invariants. "job" is a pcnserve job document
+// (jobs.View) as served by GET /api/v1/jobs/{id}. CI pipes smoke runs
+// of both through it so any drift between the emitted JSON and the
+// published schema fails the build.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"repro/internal/jobs"
 	"repro/locman"
 )
 
@@ -20,17 +28,91 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("schemacheck: ")
 
+	kind := flag.String("kind", "report",
+		"document kind on stdin: report (pcnsim -json) or job (pcnserve job document)")
+	flag.Parse()
+
 	dec := json.NewDecoder(os.Stdin)
 	dec.DisallowUnknownFields()
-	var r locman.Report
-	if err := dec.Decode(&r); err != nil {
-		log.Fatalf("document does not match locman.Report: %v", err)
+	switch *kind {
+	case "report":
+		var r locman.Report
+		if err := dec.Decode(&r); err != nil {
+			log.Fatalf("document does not match locman.Report: %v", err)
+		}
+		if err := check(&r); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ok: schema %d, %d terminals, %d slots, %d snapshots\n",
+			r.Schema, r.Terminals, r.Slots, len(r.Snapshots))
+	case "job":
+		var v jobs.View
+		if err := dec.Decode(&v); err != nil {
+			log.Fatalf("document does not match jobs.View: %v", err)
+		}
+		if err := checkJob(&v); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ok: schema %d, job %s %s, %d/%d terminal-slots\n",
+			v.Schema, v.ID, v.State, v.TerminalSlots, v.TotalTerminalSlots)
+	default:
+		log.Fatalf("unknown -kind %q (valid kinds: report, job)", *kind)
 	}
-	if err := check(&r); err != nil {
-		log.Fatal(err)
+}
+
+// checkJob enforces the invariants every well-formed job document
+// satisfies: a current schema, a known lifecycle state, a spec the
+// service itself would accept, lifecycle timestamps consistent with the
+// state, and progress within the run's bounds.
+func checkJob(v *jobs.View) error {
+	if v.Schema != jobs.SpecSchema {
+		return fmt.Errorf("schema %d, want %d", v.Schema, jobs.SpecSchema)
 	}
-	fmt.Printf("ok: schema %d, %d terminals, %d slots, %d snapshots\n",
-		r.Schema, r.Terminals, r.Slots, len(r.Snapshots))
+	if v.ID == "" {
+		return fmt.Errorf("job id missing")
+	}
+	if !v.State.Valid() {
+		return fmt.Errorf("unknown state %q", v.State)
+	}
+	if err := v.Spec.Validate(); err != nil {
+		return fmt.Errorf("embedded spec invalid: %v", err)
+	}
+	if v.Created.IsZero() {
+		return fmt.Errorf("created timestamp missing")
+	}
+	switch v.State {
+	case jobs.StateQueued:
+		if v.Started != nil || v.Finished != nil {
+			return fmt.Errorf("queued job carries started/finished timestamps")
+		}
+	case jobs.StateRunning:
+		if v.Started == nil {
+			return fmt.Errorf("running job has no started timestamp")
+		}
+		if v.Finished != nil {
+			return fmt.Errorf("running job carries a finished timestamp")
+		}
+	case jobs.StateDone, jobs.StateFailed:
+		if v.Started == nil || v.Finished == nil {
+			return fmt.Errorf("%s job missing started/finished timestamps", v.State)
+		}
+	}
+	if v.State == jobs.StateFailed && v.Error == "" {
+		return fmt.Errorf("failed job has no error")
+	}
+	if want := v.Spec.Slots * int64(v.Spec.Terminals); v.TotalTerminalSlots != want {
+		return fmt.Errorf("total_terminal_slots %d != slots*terminals %d",
+			v.TotalTerminalSlots, want)
+	}
+	if v.TerminalSlots < 0 || v.TerminalSlots > v.TotalTerminalSlots {
+		return fmt.Errorf("terminal_slots %d outside [0, %d]",
+			v.TerminalSlots, v.TotalTerminalSlots)
+	}
+	if v.State == jobs.StateDone && v.TerminalSlots != v.TotalTerminalSlots {
+		return fmt.Errorf("done job at %d/%d terminal-slots",
+			v.TerminalSlots, v.TotalTerminalSlots)
+	}
+	return nil
 }
 
 // check enforces the invariants every well-formed report satisfies.

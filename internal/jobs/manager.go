@@ -1,0 +1,431 @@
+// Package jobs is the job-service core behind pcnserve: JSON job
+// descriptors (Spec) that map one-to-one onto engine configurations, a
+// strict lifecycle state machine (State), and a Manager that runs jobs
+// from a bounded FIFO queue on a fixed worker pool with per-job
+// cancellation and deadlines.
+//
+// Determinism contract: the Manager adds nothing to a run but a
+// context and a telemetry.Progress — neither perturbs the simulation —
+// so a job's final report is bit-identical to
+// locman.SimulateNetworkSharded invoked directly with the Spec's
+// configuration, byte for byte in its JSON form (TestManagerDeterminism
+// asserts this against the engine).
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/locman"
+)
+
+// Submission failure modes the API layer maps onto HTTP statuses.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity — backpressure, not unbounded growth (HTTP 429).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrShuttingDown rejects submissions after Shutdown has begun
+	// (HTTP 503).
+	ErrShuttingDown = errors.New("jobs: shutting down")
+	// ErrNotFound reports an unknown job id (HTTP 404).
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrNotDone reports a result request for a job that has not
+	// completed successfully (HTTP 409).
+	ErrNotDone = errors.New("jobs: job has no result")
+)
+
+// Options configures a Manager; the zero value selects the defaults.
+type Options struct {
+	// QueueDepth bounds the FIFO submission queue; once QueueDepth jobs
+	// are waiting, Submit rejects with ErrQueueFull. 0 means 64.
+	QueueDepth int
+	// Workers is the worker-pool size: how many jobs simulate
+	// concurrently (each job additionally parallelizes internally across
+	// its shards). 0 means GOMAXPROCS.
+	Workers int
+	// Clock stamps job lifecycle times; nil means time.Now. Injectable
+	// for tests — it never feeds the simulation, which is seeded purely
+	// from the Spec.
+	Clock func() time.Time
+}
+
+// job is the Manager's internal record of one submission. All mutable
+// fields are guarded by the Manager's mutex; progress is internally
+// atomic and done is closed exactly once by transition.
+type job struct {
+	id      string
+	spec    Spec
+	state   State
+	errText string
+
+	created  time.Time
+	started  time.Time
+	finished time.Time
+
+	// progress receives live per-shard counters while the job runs;
+	// shardSizes converts them to terminal-slot totals.
+	progress   *telemetry.Progress
+	shardSizes []int64
+
+	// cancel aborts the running simulation; cancelRequested records that
+	// a client (or shutdown) asked for it, distinguishing cancellation
+	// from an engine failure when the run returns.
+	cancel          context.CancelFunc
+	cancelRequested bool
+
+	// report and resultJSON hold a done job's final report; resultJSON
+	// is the exact byte sequence pcnsim -json would emit for the same
+	// run, which is what the byte-identity guarantee is stated over.
+	report     *locman.Report
+	resultJSON []byte
+
+	// doneSlots freezes the job's terminal-slot total when it reaches a
+	// terminal state.
+	doneSlots int64
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// Manager owns the job table, the bounded queue and the worker pool.
+type Manager struct {
+	opts Options
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for List
+	seq    int64
+	closed bool
+	busy   int
+
+	queue chan *job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// New starts a Manager with its worker pool running.
+func New(opts Options) *Manager {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, opts.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	for w := 0; w < opts.Workers; w++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for j := range m.queue {
+				m.runJob(j)
+			}
+		}()
+	}
+	return m
+}
+
+// Submit validates the spec and enqueues a new job, returning its view.
+// The queue is the backpressure boundary: a full queue rejects with
+// ErrQueueFull immediately rather than blocking the caller or growing
+// without bound.
+func (m *Manager) Submit(spec Spec) (View, error) {
+	if err := spec.Validate(); err != nil {
+		return View{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return View{}, ErrShuttingDown
+	}
+	m.seq++
+	j := &job{
+		id:         fmt.Sprintf("j%06d", m.seq),
+		spec:       spec,
+		state:      StateQueued,
+		created:    m.opts.Clock(),
+		progress:   &telemetry.Progress{},
+		shardSizes: spec.shardSizes(),
+		done:       make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.seq-- // the rejected submission never existed
+		return View{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	return m.viewLocked(j), nil
+}
+
+// runJob executes one dequeued job through its full lifecycle.
+func (m *Manager) runJob(j *job) {
+	m.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting in the queue; nothing to run.
+		m.mu.Unlock()
+		return
+	}
+	j.transition(StateRunning)
+	j.started = m.opts.Clock()
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	if j.spec.TimeoutSec > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx,
+			time.Duration(j.spec.TimeoutSec*float64(time.Second)))
+	}
+	j.cancel = cancel
+	m.busy++
+	spec := j.spec
+	prog := j.progress
+	m.mu.Unlock()
+	defer cancel()
+
+	report, raw, runErr := runSpec(ctx, spec, prog)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.busy--
+	j.finished = m.opts.Clock()
+	j.cancel = nil
+	switch {
+	case runErr == nil:
+		j.report = report
+		j.resultJSON = raw
+		j.doneSlots = spec.Slots * int64(spec.Terminals)
+		j.transition(StateDone)
+	case j.cancelRequested || errors.Is(runErr, context.Canceled):
+		j.doneSlots = j.progressSlots()
+		j.transition(StateCancelled)
+	case errors.Is(runErr, context.DeadlineExceeded):
+		j.errText = fmt.Sprintf("deadline exceeded after %gs", spec.TimeoutSec)
+		j.doneSlots = j.progressSlots()
+		j.transition(StateFailed)
+	default:
+		j.errText = runErr.Error()
+		j.doneSlots = j.progressSlots()
+		j.transition(StateFailed)
+	}
+}
+
+// runSpec is the deterministic heart of the worker: exactly the engine
+// invocation and report encoding pcnsim performs, with a context and a
+// progress sink attached (neither influences the results). The returned
+// bytes are the report document, indented two spaces with a trailing
+// newline — identical to pcnsim -json output for the same Spec.
+func runSpec(ctx context.Context, spec Spec, prog *telemetry.Progress) (*locman.Report, []byte, error) {
+	cfg, err := spec.NetworkConfig()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Progress = prog
+	metrics, err := locman.SimulateNetworkShardedCtx(ctx, cfg, spec.Slots, spec.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := locman.NewReport(metrics)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return nil, nil, err
+	}
+	return report, buf.Bytes(), nil
+}
+
+// progressSlots sums the live per-shard progress into completed
+// terminal-slots; the caller must hold the lock (the underlying
+// counters are atomic, so reading them is always safe).
+func (j *job) progressSlots() int64 {
+	var total int64
+	for _, s := range j.progress.Snapshot() {
+		if int(s.Shard) < len(j.shardSizes) {
+			total += s.Slot * j.shardSizes[s.Shard]
+		}
+	}
+	return total
+}
+
+// Cancel requests cancellation of a job. A queued job is cancelled on
+// the spot (the worker will skip it); a running job has its context
+// cancelled and reaches StateCancelled as soon as its shards stop — the
+// engines bound that to well under the service's two-second promise. A
+// job already in a terminal state is left untouched; Cancel is
+// idempotent.
+func (m *Manager) Cancel(id string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		j.finished = m.opts.Clock()
+		j.transition(StateCancelled)
+	case StateRunning:
+		if !j.cancelRequested {
+			j.cancelRequested = true
+			j.cancel()
+		}
+	}
+	return m.viewLocked(j), nil
+}
+
+// Get returns a job's current view.
+func (m *Manager) Get(id string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return m.viewLocked(j), nil
+}
+
+// List returns every job's view in submission order.
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]View, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.viewLocked(m.jobs[id]))
+	}
+	return out
+}
+
+// Result returns a done job's report document: the exact bytes
+// pcnsim -json would emit for the same Spec.
+func (m *Manager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if j.state != StateDone {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotDone, j.state)
+	}
+	return j.resultJSON, nil
+}
+
+// Done returns a channel closed when the job reaches a terminal state,
+// for watchers that want to block instead of poll.
+func (m *Manager) Done(id string) (<-chan struct{}, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.done, nil
+}
+
+// Shutdown drains the service: it stops accepting submissions, cancels
+// every still-queued job, then waits for in-flight jobs to finish. If
+// ctx expires first, the in-flight jobs are cancelled and Shutdown
+// still waits for the workers to unwind (bounded by the engines'
+// cancellation latency) before returning ctx's error.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		// Drain and cancel everything still queued; the channel is
+		// drained under the lock, so no worker can race a dequeue into a
+		// half-cancelled state.
+	drain:
+		for {
+			select {
+			case j := <-m.queue:
+				// A queue slot can hold a job already cancelled by the
+				// client; only still-queued jobs need the transition.
+				if j.state == StateQueued {
+					j.cancelRequested = true
+					j.finished = m.opts.Clock()
+					j.transition(StateCancelled)
+				}
+			default:
+				break drain
+			}
+		}
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-workersDone
+		return ctx.Err()
+	}
+}
+
+// Stats is a point-in-time snapshot of the service's operational state,
+// the source feeding the Prometheus /metrics endpoint.
+type Stats struct {
+	// QueueDepth is the number of jobs waiting and QueueCap the bound.
+	QueueDepth int
+	QueueCap   int
+	// Workers is the pool size, BusyWorkers how many are simulating now.
+	Workers     int
+	BusyWorkers int
+	// States counts every job ever submitted by current lifecycle state.
+	States map[State]int64
+	// TerminalSlots is the cumulative terminal-slots simulated across
+	// all jobs: exact totals for finished jobs plus live
+	// telemetry.Progress readings for running ones. Monotonically
+	// non-decreasing, so it exports as a Prometheus counter and its rate
+	// is the service's terminal-slots/s throughput.
+	TerminalSlots int64
+}
+
+// Stats returns the current operational snapshot.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		QueueDepth:  len(m.queue),
+		QueueCap:    m.opts.QueueDepth,
+		Workers:     m.opts.Workers,
+		BusyWorkers: m.busy,
+		States:      make(map[State]int64, 5),
+	}
+	for _, s := range States() {
+		st.States[s] = 0
+	}
+	for _, j := range m.jobs {
+		st.States[j.state]++
+		if j.state.Terminal() {
+			st.TerminalSlots += j.doneSlots
+		} else if j.state == StateRunning {
+			st.TerminalSlots += j.progressSlots()
+		}
+	}
+	return st
+}

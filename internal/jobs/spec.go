@@ -1,0 +1,232 @@
+package jobs
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"repro/locman"
+)
+
+// SpecSchema versions the JSON job-descriptor layout accepted by the job
+// service (pcnserve) and emitted by its API; it increments on any
+// breaking change so clients can reject documents they do not
+// understand. It also versions the job View documents, which embed the
+// Spec.
+const SpecSchema = 1
+
+// Spec is the JSON job descriptor: a complete, self-contained
+// description of one PCN simulation run — the analytical configuration,
+// the population and run length, the fault plan, the engine and shard
+// choice, telemetry cadence and seed. It maps one-to-one onto
+// locman.NetworkConfig plus the (slots, shards) run arguments, and that
+// mapping is the service's determinism contract: a Spec run through the
+// job service yields a final report bit-identical to
+// locman.SimulateNetworkSharded invoked directly with the same values.
+//
+// Zero values follow the pcnsim CLI defaults where those defaults are
+// themselves zero-like; the two deliberate exceptions are Threshold
+// (nil means network-optimized, pcnsim's -d -1) and Shards (0 means
+// GOMAXPROCS, like -shards).
+type Spec struct {
+	// Model is the mobility model: "1d" or "2d" ("" means "2d").
+	Model string `json:"model,omitempty"`
+	// MoveProb (q) and CallProb (c) are the per-slot movement and
+	// call-arrival probabilities.
+	MoveProb float64 `json:"move_prob"`
+	CallProb float64 `json:"call_prob"`
+	// UpdateCost (U) and PollCost (V) are the signalling unit costs.
+	UpdateCost float64 `json:"update_cost"`
+	PollCost   float64 `json:"poll_cost"`
+	// MaxDelay (m) is the paging delay bound in polling cycles; 0 means
+	// unbounded.
+	MaxDelay int `json:"max_delay,omitempty"`
+	// Partition names the paging partitioner ("" means "sdf"); valid
+	// names are locman.PartitionNames.
+	Partition string `json:"partition,omitempty"`
+	// Terminals is the population size and Slots the run length.
+	Terminals int   `json:"terminals"`
+	Slots     int64 `json:"slots"`
+	// Shards is the parallel shard count; 0 selects GOMAXPROCS. Results
+	// are bit-identical for every value.
+	Shards int `json:"shards,omitempty"`
+	// Threshold is the static update threshold; nil means
+	// network-optimized once from the analytical parameters.
+	Threshold *int `json:"threshold,omitempty"`
+	// Dynamic enables per-terminal online estimation with periodic
+	// re-optimization every ReoptimizeEvery slots (0 means the engine
+	// default).
+	Dynamic         bool  `json:"dynamic,omitempty"`
+	ReoptimizeEvery int64 `json:"reoptimize_every,omitempty"`
+	// Faults optionally injects signalling-plane failures and configures
+	// the recovery machinery; nil is a perfect signalling plane.
+	Faults *FaultSpec `json:"faults,omitempty"`
+	// SnapshotEvery switches on telemetry snapshot frames every N slots;
+	// 0 disables the series.
+	SnapshotEvery int64 `json:"snapshot_every,omitempty"`
+	// Seed seeds the deterministic simulation.
+	Seed uint64 `json:"seed"`
+	// Engine selects the simulation engine ("" means "fast"); valid
+	// names are locman.EngineNames.
+	Engine string `json:"engine,omitempty"`
+	// TimeoutSec is the per-job wall-clock deadline in seconds; 0 means
+	// no deadline. A job exceeding it fails with a deadline error.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// FaultSpec is the JSON view of locman.FaultPlan; see that type for the
+// field semantics (including the ExplicitZero sentinel for AckTimeout
+// and PageRetries).
+type FaultSpec struct {
+	UpdateLoss    float64      `json:"update_loss,omitempty"`
+	PollLoss      float64      `json:"poll_loss,omitempty"`
+	ReplyLoss     float64      `json:"reply_loss,omitempty"`
+	UpdateRetries int          `json:"update_retries,omitempty"`
+	AckTimeout    int64        `json:"ack_timeout,omitempty"`
+	PageRetries   int          `json:"page_retries,omitempty"`
+	Outages       []OutageSpec `json:"outages,omitempty"`
+}
+
+// OutageSpec is one scheduled HLR outage window in slots [Start, End).
+type OutageSpec struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// plan maps the JSON fault section onto the engine's FaultPlan.
+func (f *FaultSpec) plan() locman.FaultPlan {
+	if f == nil {
+		return locman.FaultPlan{}
+	}
+	p := locman.FaultPlan{
+		UpdateLoss:    f.UpdateLoss,
+		PollLoss:      f.PollLoss,
+		ReplyLoss:     f.ReplyLoss,
+		UpdateRetries: f.UpdateRetries,
+		AckTimeout:    f.AckTimeout,
+		PageRetries:   f.PageRetries,
+	}
+	for _, w := range f.Outages {
+		p.Outages = append(p.Outages, locman.Outage{Start: w.Start, End: w.End})
+	}
+	return p
+}
+
+// model resolves the Spec's model name.
+func (s *Spec) model() (locman.Model, error) {
+	switch s.Model {
+	case "1d":
+		return locman.OneDimensional, nil
+	case "2d", "":
+		return locman.TwoDimensional, nil
+	default:
+		return 0, fmt.Errorf("jobs: unknown model %q (valid models: 1d, 2d)", s.Model)
+	}
+}
+
+// NetworkConfig maps the Spec onto the engine configuration it
+// describes. The mapping is pure — no defaults beyond the documented
+// zero-value meanings — so equal Specs always produce equal configs.
+func (s *Spec) NetworkConfig() (locman.NetworkConfig, error) {
+	mdl, err := s.model()
+	if err != nil {
+		return locman.NetworkConfig{}, err
+	}
+	cfg := locman.NetworkConfig{
+		Config: locman.Config{
+			Model:      mdl,
+			MoveProb:   s.MoveProb,
+			CallProb:   s.CallProb,
+			UpdateCost: s.UpdateCost,
+			PollCost:   s.PollCost,
+			MaxDelay:   s.MaxDelay,
+		},
+		Terminals:       s.Terminals,
+		Threshold:       -1,
+		Dynamic:         s.Dynamic,
+		ReoptimizeEvery: s.ReoptimizeEvery,
+		Faults:          s.Faults.plan(),
+		SnapshotEvery:   s.SnapshotEvery,
+		Seed:            s.Seed,
+	}
+	if s.Threshold != nil {
+		cfg.Threshold = *s.Threshold
+	}
+	if s.Partition != "" {
+		p, err := locman.PartitionByName(s.Partition)
+		if err != nil {
+			return locman.NetworkConfig{}, fmt.Errorf("jobs: %w", err)
+		}
+		cfg.Partition = p
+	}
+	if s.Engine != "" {
+		e, err := locman.EngineByName(s.Engine)
+		if err != nil {
+			return locman.NetworkConfig{}, fmt.Errorf("jobs: %w", err)
+		}
+		cfg.Engine = e
+	}
+	return cfg, nil
+}
+
+// ResolvedShards is the shard count the run will actually use: the
+// GOMAXPROCS default for 0, clamped to the population like the engine
+// clamps it.
+func (s *Spec) ResolvedShards() int {
+	n := s.Shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > s.Terminals && s.Terminals > 0 {
+		n = s.Terminals
+	}
+	return n
+}
+
+// shardSizes returns the number of terminals each resolved shard owns,
+// mirroring the engine's partition arithmetic; the job service uses it
+// to turn per-shard progress into terminal-slot totals.
+func (s *Spec) shardSizes() []int64 {
+	n := s.ResolvedShards()
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		lo := i * s.Terminals / n
+		hi := (i + 1) * s.Terminals / n
+		out[i] = int64(hi - lo)
+	}
+	return out
+}
+
+// Validate rejects unusable specs with errors phrased for API clients.
+// It covers both the service-level constraints (positive run shape,
+// sane timeout) and the full engine validation, so a Spec that
+// validates here is guaranteed to start simulating when its turn comes.
+func (s *Spec) Validate() error {
+	var problems []string
+	if s.Terminals <= 0 {
+		problems = append(problems, fmt.Sprintf("terminals must be positive, got %d", s.Terminals))
+	}
+	if s.Slots <= 0 {
+		problems = append(problems, fmt.Sprintf("slots must be positive, got %d", s.Slots))
+	}
+	if s.Shards < 0 {
+		problems = append(problems, fmt.Sprintf("shards must not be negative, got %d", s.Shards))
+	}
+	if s.TimeoutSec < 0 {
+		problems = append(problems, fmt.Sprintf("timeout_sec must not be negative, got %v", s.TimeoutSec))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("jobs: invalid spec: %s", strings.Join(problems, "; "))
+	}
+	cfg, err := s.NetworkConfig()
+	if err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("jobs: invalid spec: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package jobs
+
+import "testing"
+
+// TestCanTransition pins the whole lifecycle transition relation: every
+// (from, to) pair, legal and illegal, so any relaxation or tightening of
+// the state machine shows up as a diff here.
+func TestCanTransition(t *testing.T) {
+	legal := map[[2]State]bool{
+		{StateQueued, StateRunning}:    true,
+		{StateQueued, StateCancelled}:  true,
+		{StateRunning, StateDone}:      true,
+		{StateRunning, StateFailed}:    true,
+		{StateRunning, StateCancelled}: true,
+	}
+	for _, from := range States() {
+		for _, to := range States() {
+			want := legal[[2]State{from, to}]
+			if got := CanTransition(from, to); got != want {
+				t.Errorf("CanTransition(%s, %s) = %v, want %v", from, to, got, want)
+			}
+		}
+	}
+	// No state may transition to itself, and terminal states go nowhere.
+	for _, s := range States() {
+		if CanTransition(s, s) {
+			t.Errorf("CanTransition(%s, %s) allowed", s, s)
+		}
+		if s.Terminal() {
+			for _, to := range States() {
+				if CanTransition(s, to) {
+					t.Errorf("terminal state %s may transition to %s", s, to)
+				}
+			}
+		}
+	}
+}
+
+// TestStatePredicates checks Valid and Terminal against the full
+// enumeration plus a junk value.
+func TestStatePredicates(t *testing.T) {
+	for _, tc := range []struct {
+		s        State
+		valid    bool
+		terminal bool
+	}{
+		{StateQueued, true, false},
+		{StateRunning, true, false},
+		{StateDone, true, true},
+		{StateFailed, true, true},
+		{StateCancelled, true, true},
+		{State("exploded"), false, false},
+		{State(""), false, false},
+	} {
+		if got := tc.s.Valid(); got != tc.valid {
+			t.Errorf("%q.Valid() = %v, want %v", tc.s, got, tc.valid)
+		}
+		if got := tc.s.Terminal(); got != tc.terminal {
+			t.Errorf("%q.Terminal() = %v, want %v", tc.s, got, tc.terminal)
+		}
+	}
+}
+
+// TestTransitionPanicsOnIllegalMove checks the manager-internal guard:
+// an illegal transition is a bug and must crash loudly.
+func TestTransitionPanicsOnIllegalMove(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("illegal transition did not panic")
+		}
+	}()
+	j := &job{id: "j000001", state: StateDone, done: make(chan struct{})}
+	j.transition(StateRunning)
+}

@@ -1,0 +1,69 @@
+package jobs
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// View is the schema-stable JSON representation of a job the API serves:
+// the descriptor it was submitted with, its lifecycle state, timestamps,
+// and live progress while it runs. Views are snapshots — they carry no
+// references into the Manager, so the API layer can marshal them without
+// holding any lock.
+type View struct {
+	// Schema is always SpecSchema.
+	Schema int `json:"schema"`
+	// ID is the service-assigned job id, unique for the service's
+	// lifetime and ordered by submission.
+	ID string `json:"id"`
+	// State is the current lifecycle state.
+	State State `json:"state"`
+	// Spec echoes the submitted descriptor verbatim.
+	Spec Spec `json:"spec"`
+	// Error describes why a failed job failed; empty otherwise.
+	Error string `json:"error,omitempty"`
+	// Created, Started and Finished stamp the lifecycle edges; Started
+	// and Finished are absent until the job reaches them.
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// TerminalSlots counts terminal-slots simulated so far (exact for
+	// finished jobs, live telemetry.Progress for running ones);
+	// TotalTerminalSlots is the job's goal, so the ratio is its
+	// completion fraction.
+	TerminalSlots      int64 `json:"terminal_slots"`
+	TotalTerminalSlots int64 `json:"total_terminal_slots"`
+	// Shards is the live per-shard progress of a running job; absent
+	// otherwise.
+	Shards []telemetry.ShardStatus `json:"shards,omitempty"`
+}
+
+// viewLocked snapshots a job; the caller holds the Manager's lock.
+func (m *Manager) viewLocked(j *job) View {
+	v := View{
+		Schema:             SpecSchema,
+		ID:                 j.id,
+		State:              j.state,
+		Spec:               j.spec,
+		Error:              j.errText,
+		Created:            j.created,
+		TotalTerminalSlots: j.spec.Slots * int64(j.spec.Terminals),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	switch {
+	case j.state.Terminal():
+		v.TerminalSlots = j.doneSlots
+	case j.state == StateRunning:
+		v.TerminalSlots = j.progressSlots()
+		v.Shards = j.progress.Snapshot()
+	}
+	return v
+}

@@ -3,6 +3,7 @@ package paging
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // A Scheme partitions the rings 0..d of a residing area into at most m
@@ -196,20 +197,28 @@ func (OptimalDP) Partition(ringSizes []int, pi []float64, m int) Partition {
 	return build(ringSizes, bounds)
 }
 
-// ByName returns the named scheme, for CLI flag parsing.
-func ByName(name string) (Scheme, error) {
-	switch name {
-	case "sdf":
-		return SDF{}, nil
-	case "blanket":
-		return Blanket{}, nil
-	case "per-ring":
-		return PerRing{}, nil
-	case "equal-cells":
-		return EqualCells{}, nil
-	case "optimal-dp":
-		return OptimalDP{}, nil
-	default:
-		return nil, fmt.Errorf("paging: unknown scheme %q (want sdf, blanket, per-ring, equal-cells or optimal-dp)", name)
+// schemes lists every registered scheme in resolution order; ByName and
+// Names both read it, so the error message can never drift from the
+// parser.
+var schemes = []Scheme{SDF{}, Blanket{}, PerRing{}, EqualCells{}, OptimalDP{}}
+
+// Names lists the names ByName resolves, in resolution order.
+func Names() []string {
+	out := make([]string, len(schemes))
+	for i, s := range schemes {
+		out[i] = s.Name()
 	}
+	return out
+}
+
+// ByName returns the named scheme, for CLI flag parsing. The error for
+// an unknown name enumerates every valid one.
+func ByName(name string) (Scheme, error) {
+	for _, s := range schemes {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("paging: unknown scheme %q (valid schemes: %s)",
+		name, strings.Join(Names(), ", "))
 }

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// scrapeState remembers the previous /metrics scrape so the
+// terminal-slots/s gauge can report the throughput over the last scrape
+// window without any background sampling goroutine.
+type scrapeState struct {
+	mu        sync.Mutex
+	lastTime  time.Time
+	lastSlots int64
+	lastRate  float64
+}
+
+// rate folds a new (time, cumulative terminal-slots) sample and returns
+// the slots/s over the window since the previous scrape; the first
+// scrape reports 0. A zero-length window re-reports the previous rate
+// rather than dividing by zero.
+func (sc *scrapeState) rate(now time.Time, slots int64) float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.lastTime.IsZero() {
+		sc.lastTime, sc.lastSlots, sc.lastRate = now, slots, 0
+		return 0
+	}
+	dt := now.Sub(sc.lastTime).Seconds()
+	if dt <= 0 {
+		return sc.lastRate
+	}
+	rate := float64(slots-sc.lastSlots) / dt
+	sc.lastTime, sc.lastSlots, sc.lastRate = now, slots, rate
+	return rate
+}
+
+// handleMetrics serves the operational counters in Prometheus text
+// exposition format: queue depth and capacity, worker occupancy,
+// per-state job counts, the cumulative terminal-slot counter (exact for
+// finished jobs plus live telemetry.Progress for running ones) and the
+// terminal-slots/s throughput over the last scrape window.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.mgr.Stats()
+	rate := s.scrape.rate(s.opts.Clock(), st.TerminalSlots)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP pcnserve_queue_depth Jobs waiting in the bounded submission queue.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_queue_depth gauge\n")
+	fmt.Fprintf(w, "pcnserve_queue_depth %d\n", st.QueueDepth)
+	fmt.Fprintf(w, "# HELP pcnserve_queue_capacity Capacity of the submission queue.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_queue_capacity gauge\n")
+	fmt.Fprintf(w, "pcnserve_queue_capacity %d\n", st.QueueCap)
+	fmt.Fprintf(w, "# HELP pcnserve_workers Size of the simulation worker pool.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_workers gauge\n")
+	fmt.Fprintf(w, "pcnserve_workers %d\n", st.Workers)
+	fmt.Fprintf(w, "# HELP pcnserve_workers_busy Workers currently running a job.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_workers_busy gauge\n")
+	fmt.Fprintf(w, "pcnserve_workers_busy %d\n", st.BusyWorkers)
+	fmt.Fprintf(w, "# HELP pcnserve_jobs Jobs by lifecycle state.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_jobs gauge\n")
+	for _, state := range jobs.States() {
+		fmt.Fprintf(w, "pcnserve_jobs{state=%q} %d\n", string(state), st.States[state])
+	}
+	fmt.Fprintf(w, "# HELP pcnserve_terminal_slots_total Cumulative terminal-slots simulated across all jobs.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_terminal_slots_total counter\n")
+	fmt.Fprintf(w, "pcnserve_terminal_slots_total %d\n", st.TerminalSlots)
+	fmt.Fprintf(w, "# HELP pcnserve_terminal_slots_per_second Simulation throughput over the last scrape window.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_terminal_slots_per_second gauge\n")
+	fmt.Fprintf(w, "pcnserve_terminal_slots_per_second %g\n", rate)
+}

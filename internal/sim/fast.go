@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"repro/internal/des"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
@@ -166,7 +168,15 @@ func (n *network) fastPage(t *terminal, base des.Time) uint64 {
 // histograms. Slots are processed in batches bounded by the telemetry
 // cadence so each snapshot observes exactly the state the reference
 // engine would capture at that boundary.
-func runShardFast(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
+//
+// A cancellable ctx is polled between per-terminal slot chunks, with
+// pure stretches additionally capped at ctxCheckSlots slots, so the
+// shard stops within a bounded amount of work whether the population is
+// wide (many terminals, few slots each) or deep (one terminal, many
+// slots). A background context takes the check-free path and the
+// stretch cap never engages, keeping the hot loop byte-for-byte as fast
+// as before.
+func runShardFast(ctx context.Context, cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
 	n, terms, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
 	if err != nil {
 		return shardResult{}, err
@@ -180,6 +190,7 @@ func runShardFast(cfg Config, slots int64, shard, lo, hi, startD int, loc locato
 	every := cfg.Telemetry.SnapshotEvery
 	prog := cfg.Telemetry.Progress
 	dyn := cfg.Dynamic
+	done := ctx.Done()
 	var frames []telemetry.ShardFrame
 	// subEvents counts dispatched sub-slot events across all terminals —
 	// the fast path schedules no sweep events, so this is directly the
@@ -203,6 +214,13 @@ func runShardFast(cfg Config, slots int64, shard, lo, hi, startD int, loc locato
 			callT := stats.BernoulliThreshold(t.params.C)
 			moveT := stats.BernoulliThreshold(t.moveProb)
 			for s := cur; s < next; {
+				if done != nil {
+					select {
+					case <-done:
+						return shardResult{}, ctx.Err()
+					default:
+					}
+				}
 				if sched.Pending() > 0 || (dyn && s > 0 && s%cfg.ReoptimizeEvery == 0) {
 					// Slow slot: queued timers force the full two-phase
 					// event path around the sweep, and a reoptimization
@@ -240,6 +258,11 @@ func runShardFast(cfg Config, slots int64, shard, lo, hi, startD int, loc locato
 					if b := (s/cfg.ReoptimizeEvery + 1) * cfg.ReoptimizeEvery; b < stop {
 						stop = b
 					}
+				}
+				if done != nil && stop-s > ctxCheckSlots {
+					// Bound the stretch so deep single-terminal runs still
+					// observe cancellation; the loop re-enters and checks.
+					stop = s + ctxCheckSlots
 				}
 				start := s
 				for s < stop {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -38,6 +39,25 @@ const (
 // are rejected; shard counts beyond the population are clamped to one
 // terminal per shard.
 func RunSharded(cfg Config, slots int64, shards int) (*Metrics, error) {
+	return RunShardedCtx(context.Background(), cfg, slots, shards)
+}
+
+// ctxCheckSlots bounds how many slots the fast path's pure stretch may
+// run between cancellation checks when a cancellable context is in
+// force. A stretch this long costs well under a millisecond, so the
+// shard notices cancellation orders of magnitude inside any human
+// deadline while a background context pays no per-slot check at all.
+const ctxCheckSlots = 1 << 16
+
+// RunShardedCtx is RunSharded under cooperative cancellation: when ctx is
+// cancelled, shards that have not started are never dispatched and every
+// in-flight shard stops within a bounded amount of work (the reference
+// engine checks at each slot boundary, the fast path at least every
+// ctxCheckSlots terminal-slots), so the call returns promptly with
+// ctx.Err() instead of after run completion. A run that completes
+// normally is untouched by the context machinery: results remain
+// bit-identical to RunSharded for every shard count.
+func RunShardedCtx(ctx context.Context, cfg Config, slots int64, shards int) (*Metrics, error) {
 	cfg = cfg.withDefaults()
 	if err := validate(cfg, slots); err != nil {
 		return nil, err
@@ -65,10 +85,10 @@ func RunSharded(cfg Config, slots int64, shards int) (*Metrics, error) {
 		engine = runShardFast
 	}
 	cfg.Telemetry.Progress.Init(shards)
-	parts, err := sweep.Map(shards, 0, func(s int) (shardResult, error) {
+	parts, err := sweep.MapCtx(ctx, shards, 0, func(ctx context.Context, s int) (shardResult, error) {
 		lo := s * cfg.Terminals / shards
 		hi := (s + 1) * cfg.Terminals / shards
-		return engine(cfg, slots, s, lo, hi, startD, loc)
+		return engine(ctx, cfg, slots, s, lo, hi, startD, loc)
 	})
 	if err != nil {
 		return nil, err
@@ -217,8 +237,10 @@ func finishShard(n *network, terms []terminal, slots int64) *Metrics {
 // shard's share: Terminals is hi−lo, PerTerminal holds records for ids
 // lo..hi−1 and Events counts sub-slot events only (the caller adds the
 // slot sweeps once after merging). shard is the shard's index, used only
-// for telemetry (progress reporting).
-func runShard(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
+// for telemetry (progress reporting). Cancelling ctx stops the run at
+// the next slot boundary (in-flight sub-slot events still drain) and
+// returns ctx.Err().
+func runShard(ctx context.Context, cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
 	n, terms, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
 	if err != nil {
 		return shardResult{}, err
@@ -242,10 +264,23 @@ func runShard(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (
 	}
 
 	// One event per slot sweeps the shard's terminals: movement/update and
-	// call arrivals; paging cycles run as sub-slot events.
+	// call arrivals; paging cycles run as sub-slot events. A cancelled
+	// context stops the chain by not scheduling the next sweep: the
+	// scheduler then drains only the bounded tail of sub-slot events
+	// already queued, so the shard returns promptly.
+	done := ctx.Done()
+	cancelled := false
 	var slot func()
 	cur := int64(0)
 	slot = func() {
+		if done != nil {
+			select {
+			case <-done:
+				cancelled = true
+				return
+			default:
+			}
+		}
 		if every > 0 && cur > 0 && cur%every == 0 {
 			// The current slot event is already counted in Processed.
 			capture(cur, uint64(cur)+1)
@@ -268,6 +303,9 @@ func runShard(cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (
 	}
 	sched.At(0, slot)
 	sched.Drain()
+	if cancelled {
+		return shardResult{}, ctx.Err()
+	}
 	if every > 0 {
 		// The final frame always lands on the run boundary, covering the
 		// whole run including any events drained after the last slot.

@@ -19,6 +19,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/chain"
 	"repro/internal/core"
@@ -67,16 +68,23 @@ func (e Engine) String() string {
 	}
 }
 
-// EngineByName resolves "fast" or "des", for CLI flags.
+// EngineNames lists the names EngineByName resolves, in resolution
+// order; CLI help strings and error messages are built from this single
+// list so they can never drift from the parser.
+func EngineNames() []string {
+	return []string{EngineFast.String(), EngineDES.String()}
+}
+
+// EngineByName resolves an engine name, for CLI flags. The error for an
+// unknown name enumerates every valid one.
 func EngineByName(name string) (Engine, error) {
-	switch name {
-	case "fast":
-		return EngineFast, nil
-	case "des":
-		return EngineDES, nil
-	default:
-		return 0, fmt.Errorf("sim: unknown engine %q (want fast or des)", name)
+	for _, e := range []Engine{EngineFast, EngineDES} {
+		if name == e.String() {
+			return e, nil
+		}
 	}
+	return 0, fmt.Errorf("sim: unknown engine %q (valid engines: %s)",
+		name, strings.Join(EngineNames(), ", "))
 }
 
 // Config parameterizes a simulation run.

@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapCtxCompletes checks that a background context changes nothing:
+// MapCtx with a never-cancelled context behaves exactly like Map.
+func TestMapCtxCompletes(t *testing.T) {
+	got, err := MapCtx(context.Background(), 100, 4, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatalf("MapCtx: %v", err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapCtxCancelStopsDispatch checks that cancelling the context stops
+// new tasks from being dispatched: with one worker and a cancel fired by
+// the first task, almost all of the remaining tasks must never run, and
+// the call returns the context's error.
+func TestMapCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	_, err := MapCtx(ctx, 1000, 1, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The producer may have one task in hand when cancel lands; anything
+	// beyond a small constant means dispatch kept going.
+	if n := ran.Load(); n > 4 {
+		t.Fatalf("%d tasks ran after cancellation, want ≤ 4", n)
+	}
+}
+
+// TestMapCtxCancelReachesInflight checks that in-flight tasks receive the
+// cancelled context and that MapCtx waits for them rather than abandoning
+// them.
+func TestMapCtxCancelReachesInflight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var finished atomic.Int64
+	start := make(chan struct{})
+	go func() {
+		<-start
+		cancel()
+	}()
+	_, err := MapCtx(ctx, 4, 4, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			close(start)
+		}
+		select {
+		case <-ctx.Done():
+			finished.Add(1)
+			return 0, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return 0, errors.New("cancellation never reached the task")
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := finished.Load(); n == 0 {
+		t.Fatal("no in-flight task observed the cancellation")
+	}
+}
+
+// TestMapCtxPanicPrecedence checks the panic contract carries over from
+// Map: a panicking task still re-raises after a cancellation.
+func TestMapCtxPanicPrecedence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	defer func() {
+		if v := recover(); v != "boom" {
+			t.Fatalf("recovered %v, want boom", v)
+		}
+	}()
+	_, _ = MapCtx(ctx, 8, 1, func(_ context.Context, i int) (int, error) {
+		if i == 0 {
+			cancel()
+			panic("boom")
+		}
+		return i, nil
+	})
+	t.Fatal("MapCtx returned instead of panicking")
+}

@@ -6,6 +6,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -30,6 +31,25 @@ type taskPanic struct {
 // panic would strand the producer on the unbuffered task channel and
 // deadlock Map forever.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil task function")
+	}
+	return MapCtx(context.Background(), n, workers, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is cancelled no
+// new task is dispatched (the undispatched indices are charged ctx.Err())
+// and every in-flight fn receives ctx so it can stop early. The error
+// returned is still the one with the lowest index, so a run cancelled
+// mid-flight deterministically reports the first index that did not
+// complete, whichever worker goroutines happened to be ahead.
+//
+// fn must treat ctx as advisory — returning promptly once it is done —
+// but is never abandoned: MapCtx always waits for in-flight calls to
+// return before it does. The panic semantics match Map exactly.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("sweep: negative task count %d", n)
 	}
@@ -55,7 +75,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				panics[i] = &taskPanic{val: v}
 			}
 		}()
-		out[i], errs[i] = fn(i)
+		out[i], errs[i] = fn(ctx, i)
 	}
 
 	var wg sync.WaitGroup
@@ -69,8 +89,19 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			// Charge every undispatched task the cancellation error; the
+			// workers drain naturally once idx closes.
+			for j := i; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()

@@ -38,6 +38,7 @@
 package locman
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -108,8 +109,12 @@ func EqualCells() Partition { return paging.EqualCells{} }
 func OptimalDP() Partition { return paging.OptimalDP{} }
 
 // PartitionByName resolves "sdf", "blanket", "per-ring", "equal-cells" or
-// "optimal-dp".
+// "optimal-dp"; the error for an unknown name enumerates the valid ones.
 func PartitionByName(name string) (Partition, error) { return paging.ByName(name) }
+
+// PartitionNames lists the names PartitionByName resolves, for CLI help
+// strings and error messages.
+func PartitionNames() []string { return paging.Names() }
 
 // Config describes one terminal's location-management problem.
 type Config struct {
@@ -314,8 +319,13 @@ const (
 	EngineDES = sim.EngineDES
 )
 
-// EngineByName resolves "fast" or "des", for CLI flags.
+// EngineByName resolves "fast" or "des", for CLI flags; the error for an
+// unknown name enumerates the valid ones.
 func EngineByName(name string) (Engine, error) { return sim.EngineByName(name) }
+
+// EngineNames lists the names EngineByName resolves, for CLI help
+// strings and error messages.
+func EngineNames() []string { return sim.EngineNames() }
 
 // FaultPlan configures fault injection and recovery for the PCN system
 // simulation; see the sim package for field semantics.
@@ -391,10 +401,21 @@ func SimulateNetwork(cfg NetworkConfig, slots int64) (*NetworkMetrics, error) {
 // divides by the available cores. shards 0 selects GOMAXPROCS; negative
 // values are rejected; shard counts beyond Terminals are clamped.
 func SimulateNetworkSharded(cfg NetworkConfig, slots int64, shards int) (*NetworkMetrics, error) {
+	return SimulateNetworkShardedCtx(context.Background(), cfg, slots, shards)
+}
+
+// SimulateNetworkShardedCtx is SimulateNetworkSharded under cooperative
+// cancellation: cancelling ctx stops in-flight shards within a bounded
+// amount of work and returns ctx.Err() instead of waiting for run
+// completion. A run that finishes normally is bit-identical to
+// SimulateNetworkSharded — the context machinery never perturbs the
+// simulation. This is the entry point long-running services (pcnserve)
+// use to honour job cancellation and per-job deadlines.
+func SimulateNetworkShardedCtx(ctx context.Context, cfg NetworkConfig, slots int64, shards int) (*NetworkMetrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.RunSharded(cfg.simConfig(), slots, shards)
+	return sim.RunShardedCtx(ctx, cfg.simConfig(), slots, shards)
 }
 
 // BaselineScheme identifies a comparison scheme for SimulateBaseline.
