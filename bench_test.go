@@ -325,16 +325,17 @@ func BenchmarkNetworkSimulator(b *testing.B) {
 
 // BenchmarkRunSharded measures the simulation engines' scaling:
 // terminal-slots per second at 10k–1M terminals, for the slot-batched
-// fast path and the reference event-driven engine, for one shard (the
-// single-threaded Run) versus one shard per core. Results are
-// bit-identical across every variant (the engine-equivalence and
-// shard-count-invariance contracts); only the wall clock changes.
+// fast path, the columnar cohort engine and the reference event-driven
+// engine, for one shard (the single-threaded Run) versus one shard per
+// core. Results are bit-identical across every variant (the
+// engine-equivalence and shard-count-invariance contracts); only the
+// wall clock changes.
 func BenchmarkRunSharded(b *testing.B) {
 	shardCounts := []int{1}
 	if p := runtime.GOMAXPROCS(0); p > 1 {
 		shardCounts = append(shardCounts, p)
 	}
-	for _, engine := range []sim.Engine{sim.EngineFast, sim.EngineDES} {
+	for _, engine := range []sim.Engine{sim.EngineFast, sim.EngineCols, sim.EngineDES} {
 		for _, terms := range []int{10_000, 100_000, 1_000_000} {
 			for _, shards := range shardCounts {
 				b.Run(fmt.Sprintf("engine=%s/terminals=%d/shards=%d", engine, terms, shards), func(b *testing.B) {

@@ -4,15 +4,19 @@
 //	benchreport -out BENCH_engine.json
 //	benchreport -validate BENCH_engine.json
 //
-// The report (schema bench-engine/v1) records terminal-slots per second
-// and allocation rates for the slot-batched fast engine and the reference
-// event-driven engine across population sizes, the fast path's
-// steady-state hot-loop cost, and the resulting fast-over-DES speedups.
-// Both engines produce bit-identical results (sim.TestFastPathEquivalence);
-// this report tracks the wall-clock side of that contract. The -validate
-// mode decodes a report strictly (unknown fields rejected) and checks its
-// internal invariants, so CI can verify both the writer and a checked-in
-// baseline.
+// The report (schema bench-engine/v2) records terminal-slots per second
+// and allocation rates for the slot-batched fast engine, the columnar
+// cohort engine and the reference event-driven engine across population
+// sizes, the batched engines' steady-state hot-loop costs, and the
+// resulting per-engine speedups over DES. Per-run allocations are split
+// into one-time setup (shard construction) and the residual charged to
+// the slot loop, so "zero hot-loop allocs" is a measured claim rather
+// than an asymptotic one. All engines produce bit-identical results
+// (locman's TestEngineEquivalence); this report tracks the wall-clock
+// side of that contract. The -validate mode decodes a report strictly
+// (unknown fields rejected) and checks its internal invariants, so CI
+// can verify both the writer and a checked-in baseline; legacy
+// bench-engine/v1 documents are still accepted.
 package main
 
 import (
@@ -34,7 +38,12 @@ import (
 )
 
 // Schema identifies the report layout; bump on breaking changes.
-const Schema = "bench-engine/v1"
+// SchemaV1 documents (fast and des engines only, a single fast hot
+// loop, no setup/hot allocation split) are still accepted by -validate.
+const (
+	Schema   = "bench-engine/v2"
+	SchemaV1 = "bench-engine/v1"
+)
 
 // Params pins the workload the measurements ran under: the paper's
 // Table 1/2 parameters on the exact 2-D model.
@@ -50,7 +59,12 @@ type Params struct {
 	Shards     int     `json:"shards"`
 }
 
-// Run is one engine × population measurement.
+// Run is one engine × population measurement. AllocsPerOp counts every
+// allocation in a full run; since v2 it is split into SetupAllocsPerOp —
+// the one-time shard-construction cost (terminal array, flat RNG
+// backing, scheduler state), measured by a one-slot run of the same
+// configuration — and HotAllocsPerOp, the residual charged to the slot
+// loop (AllocsPerOp − SetupAllocsPerOp, clamped at zero).
 type Run struct {
 	Engine              string  `json:"engine"`
 	Terminals           int     `json:"terminals"`
@@ -60,29 +74,38 @@ type Run struct {
 	TerminalSlotsPerSec float64 `json:"terminal_slots_per_sec"`
 	AllocsPerOp         int64   `json:"allocs_per_op"`
 	BytesPerOp          int64   `json:"bytes_per_op"`
+	SetupAllocsPerOp    int64   `json:"setup_allocs_per_op"`
+	HotAllocsPerOp      int64   `json:"hot_allocs_per_op"`
 }
 
-// HotLoop is the fast engine's steady-state cost with a single
+// HotLoop is a batched engine's steady-state cost with a single
 // long-running terminal: slots scale with b.N so setup amortizes to
-// nothing, making AllocsPerOp the hot loop's true allocation rate.
+// nothing, making AllocsPerOp the slot loop's true allocation rate.
+// Engine is empty in legacy v1 documents (implicitly the fast engine).
 type HotLoop struct {
+	Engine            string  `json:"engine,omitempty"`
 	NsPerTerminalSlot float64 `json:"ns_per_terminal_slot"`
 	AllocsPerOp       int64   `json:"allocs_per_op"`
 	BytesPerOp        int64   `json:"bytes_per_op"`
 }
 
-// Speedup is the fast engine's throughput advantage at one population.
+// Speedup is the batched engines' throughput advantage over the
+// reference event-driven engine at one population. A ratio is zero when
+// that engine was not measured (the -engines flag excluded it).
 type Speedup struct {
 	Terminals   int     `json:"terminals"`
-	FastOverDES float64 `json:"fast_over_des"`
+	FastOverDES float64 `json:"fast_over_des,omitempty"`
+	ColsOverDES float64 `json:"cols_over_des,omitempty"`
 }
 
-// Report is the full document written to -out.
+// Report is the full document written to -out. Exactly one of HotLoop
+// (v1) and HotLoops (v2) is set, per the schema tag.
 type Report struct {
 	Schema   string    `json:"schema"`
 	Params   Params    `json:"params"`
 	Runs     []Run     `json:"runs"`
-	HotLoop  HotLoop   `json:"hot_loop"`
+	HotLoop  *HotLoop  `json:"hot_loop,omitempty"`
+	HotLoops []HotLoop `json:"hot_loops,omitempty"`
 	Speedups []Speedup `json:"speedups"`
 }
 
@@ -100,6 +123,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_engine.json", "output file for the report")
 	termList := fs.String("terminals", "10000,100000,1000000", "comma-separated population sizes")
+	engList := fs.String("engines", strings.Join(sim.EngineNames(), ","), "comma-separated engines to measure")
 	slots := fs.Int64("slots", 256, "slots per run (large enough to amortize setup)")
 	shards := fs.Int("shards", 1, "shard count for every run")
 	reps := fs.Int("reps", 3, "repetitions per measurement; the best is kept")
@@ -124,6 +148,10 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	engines, err := parseEngines(*engList)
+	if err != nil {
+		return err
+	}
 	if *slots <= 0 {
 		return fmt.Errorf("slots %d must be positive", *slots)
 	}
@@ -133,21 +161,30 @@ func run(args []string, stdout io.Writer) error {
 
 	params := defaultParams(*slots, *shards)
 	var runs []Run
-	for _, engine := range []sim.Engine{sim.EngineFast, sim.EngineDES} {
+	for _, engine := range engines {
 		for _, terms := range terminals {
 			r := measureEngine(params, engine, terms, *reps)
 			runs = append(runs, r)
-			fmt.Fprintf(stdout, "%-4s %8d terminals: %11.0f terminal-slots/s (%.1f ns each)\n",
-				r.Engine, r.Terminals, r.TerminalSlotsPerSec, r.NsPerTerminalSlot)
+			fmt.Fprintf(stdout, "%-4s %8d terminals: %11.0f terminal-slots/s (%.1f ns each, %d setup + %d hot allocs)\n",
+				r.Engine, r.Terminals, r.TerminalSlotsPerSec, r.NsPerTerminalSlot,
+				r.SetupAllocsPerOp, r.HotAllocsPerOp)
 		}
 	}
-	hot := measureHotLoop()
-	fmt.Fprintf(stdout, "hot loop: %.1f ns/terminal-slot, %d allocs/op\n",
-		hot.NsPerTerminalSlot, hot.AllocsPerOp)
+	var hots []HotLoop
+	for _, engine := range engines {
+		if engine == sim.EngineDES {
+			continue // no slot loop to isolate: DES is event-driven
+		}
+		h := measureHotLoop(engine)
+		hots = append(hots, h)
+		fmt.Fprintf(stdout, "%-4s hot loop: %.1f ns/terminal-slot, %d allocs/op\n",
+			h.Engine, h.NsPerTerminalSlot, h.AllocsPerOp)
+	}
 
-	rep := buildReport(params, runs, hot)
+	rep := buildReport(params, runs, hots)
 	for _, s := range rep.Speedups {
-		fmt.Fprintf(stdout, "speedup %8d terminals: %.2fx fast over des\n", s.Terminals, s.FastOverDES)
+		fmt.Fprintf(stdout, "speedup %8d terminals: %.2fx fast, %.2fx cols over des\n",
+			s.Terminals, s.FastOverDES, s.ColsOverDES)
 	}
 	if err := writeReport(*out, rep); err != nil {
 		return err
@@ -167,6 +204,24 @@ func parseTerminals(list string) ([]int, error) {
 		terminals = append(terminals, n)
 	}
 	return terminals, nil
+}
+
+// parseEngines parses the -engines list, rejecting duplicates.
+func parseEngines(list string) ([]sim.Engine, error) {
+	var engines []sim.Engine
+	for _, f := range strings.Split(list, ",") {
+		e, err := sim.EngineByName(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("engines %q: %w", list, err)
+		}
+		for _, have := range engines {
+			if have == e {
+				return nil, fmt.Errorf("engines %q: duplicate %s", list, e)
+			}
+		}
+		engines = append(engines, e)
+	}
+	return engines, nil
 }
 
 // defaultParams is the paper-typical workload every run measures under.
@@ -202,7 +257,9 @@ func simConfig(p Params, engine sim.Engine, terminals int) sim.Config {
 
 // measureEngine benchmarks one engine at one population size, keeping the
 // best of reps repetitions (the minimum-noise estimate on a shared
-// machine).
+// machine). A single-rep one-slot run of the same configuration measures
+// the setup allocations; the rest of AllocsPerOp is charged to the slot
+// loop.
 func measureEngine(p Params, engine sim.Engine, terminals, reps int) Run {
 	cfg := simConfig(p, engine, terminals)
 	best := testing.BenchmarkResult{}
@@ -219,6 +276,18 @@ func measureEngine(p Params, engine sim.Engine, terminals, reps int) Run {
 			best = res
 		}
 	}
+	setup := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunSharded(cfg, 1, p.Shards); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hotAllocs := best.AllocsPerOp() - setup.AllocsPerOp()
+	if hotAllocs < 0 {
+		hotAllocs = 0
+	}
 	tslots := float64(terminals) * float64(p.Slots)
 	nsPerOp := float64(best.NsPerOp())
 	return Run{
@@ -230,14 +299,16 @@ func measureEngine(p Params, engine sim.Engine, terminals, reps int) Run {
 		TerminalSlotsPerSec: tslots / (nsPerOp / 1e9),
 		AllocsPerOp:         best.AllocsPerOp(),
 		BytesPerOp:          best.AllocedBytesPerOp(),
+		SetupAllocsPerOp:    setup.AllocsPerOp(),
+		HotAllocsPerOp:      hotAllocs,
 	}
 }
 
-// measureHotLoop benchmarks the fast engine's steady-state slot loop: one
-// terminal, slots scaling with b.N, calls off so the loop is isolated
+// measureHotLoop benchmarks a batched engine's steady-state slot loop:
+// one terminal, slots scaling with b.N, calls off so the loop is isolated
 // from the paging machinery (movement stays heavy: q = 0.5 crosses the
 // threshold and sends real updates through the wire codec).
-func measureHotLoop() HotLoop {
+func measureHotLoop(engine sim.Engine) HotLoop {
 	cfg := sim.Config{
 		Core: core.Config{
 			Model:    chain.TwoDimExact,
@@ -248,6 +319,7 @@ func measureHotLoop() HotLoop {
 		Terminals: 1,
 		Threshold: 3,
 		Seed:      1,
+		Engine:    engine,
 	}
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -256,38 +328,47 @@ func measureHotLoop() HotLoop {
 		}
 	})
 	return HotLoop{
+		Engine:            engine.String(),
 		NsPerTerminalSlot: float64(res.NsPerOp()),
 		AllocsPerOp:       res.AllocsPerOp(),
 		BytesPerOp:        res.AllocedBytesPerOp(),
 	}
 }
 
-// buildReport assembles the document: the raw runs plus the per-population
-// fast-over-DES speedups derived from them.
-func buildReport(p Params, runs []Run, hot HotLoop) *Report {
+// buildReport assembles the document: the raw runs, the hot loops, and
+// the per-population speedups over DES derived from the runs.
+func buildReport(p Params, runs []Run, hots []HotLoop) *Report {
 	byKey := make(map[string]Run, len(runs))
 	for _, r := range runs {
 		byKey[fmt.Sprintf("%s/%d", r.Engine, r.Terminals)] = r
 	}
+	ratio := func(engine string, terminals int, des Run) float64 {
+		r, ok := byKey[fmt.Sprintf("%s/%d", engine, terminals)]
+		if !ok || des.TerminalSlotsPerSec <= 0 {
+			return 0
+		}
+		return r.TerminalSlotsPerSec / des.TerminalSlotsPerSec
+	}
 	var speedups []Speedup
 	for _, r := range runs {
-		if r.Engine != sim.EngineFast.String() {
+		if r.Engine != sim.EngineDES.String() {
 			continue
 		}
-		des, ok := byKey[fmt.Sprintf("%s/%d", sim.EngineDES.String(), r.Terminals)]
-		if !ok || r.TerminalSlotsPerSec <= 0 {
-			continue
-		}
-		speedups = append(speedups, Speedup{
+		s := Speedup{
 			Terminals:   r.Terminals,
-			FastOverDES: r.TerminalSlotsPerSec / des.TerminalSlotsPerSec,
-		})
+			FastOverDES: ratio(sim.EngineFast.String(), r.Terminals, r),
+			ColsOverDES: ratio(sim.EngineCols.String(), r.Terminals, r),
+		}
+		if s.FastOverDES > 0 || s.ColsOverDES > 0 {
+			speedups = append(speedups, s)
+		}
 	}
-	return &Report{Schema: Schema, Params: p, Runs: runs, HotLoop: hot, Speedups: speedups}
+	return &Report{Schema: Schema, Params: p, Runs: runs, HotLoops: hots, Speedups: speedups}
 }
 
 // readReport decodes a report strictly: unknown fields are schema
-// violations, not extensions.
+// violations, not extensions. The Report struct is a superset of the v1
+// layout, so legacy documents decode into it unchanged.
 func readReport(path string) (*Report, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -304,19 +385,23 @@ func readReport(path string) (*Report, error) {
 }
 
 // validateReport checks a report's internal invariants: schema tag,
-// positive finite measurements, both engines present for every population,
-// speedups consistent with the runs they derive from, and a zero-alloc
-// hot loop (the fast path's steady-state contract).
+// positive finite measurements, speedups consistent with the runs they
+// derive from, zero-alloc hot loops, and (v2) a setup/hot allocation
+// split that sums back to the total with nothing charged to a batched
+// engine's slot loop.
 func validateReport(r *Report) error {
-	if r.Schema != Schema {
-		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
+	switch r.Schema {
+	case Schema, SchemaV1:
+	default:
+		return fmt.Errorf("schema %q, want %q (or legacy %q)", r.Schema, Schema, SchemaV1)
 	}
+	v1 := r.Schema == SchemaV1
 	if len(r.Runs) == 0 {
 		return fmt.Errorf("no runs")
 	}
 	tsps := make(map[string]float64, len(r.Runs))
 	for i, run := range r.Runs {
-		if run.Engine != sim.EngineFast.String() && run.Engine != sim.EngineDES.String() {
+		if _, err := sim.EngineByName(run.Engine); err != nil {
 			return fmt.Errorf("run %d: unknown engine %q", i, run.Engine)
 		}
 		if run.Terminals <= 0 || run.Slots <= 0 || run.Shards <= 0 {
@@ -325,8 +410,22 @@ func validateReport(r *Report) error {
 		if !positiveFinite(run.NsPerTerminalSlot) || !positiveFinite(run.TerminalSlotsPerSec) {
 			return fmt.Errorf("run %d: non-positive measurements", i)
 		}
-		if run.AllocsPerOp < 0 || run.BytesPerOp < 0 {
+		if run.AllocsPerOp < 0 || run.BytesPerOp < 0 || run.SetupAllocsPerOp < 0 || run.HotAllocsPerOp < 0 {
 			return fmt.Errorf("run %d: negative allocation counts", i)
+		}
+		if !v1 {
+			hot := run.AllocsPerOp - run.SetupAllocsPerOp
+			if hot < 0 {
+				hot = 0
+			}
+			if run.HotAllocsPerOp != hot {
+				return fmt.Errorf("run %d: hot allocs %d inconsistent with total %d − setup %d",
+					i, run.HotAllocsPerOp, run.AllocsPerOp, run.SetupAllocsPerOp)
+			}
+			if run.Engine != sim.EngineDES.String() && run.HotAllocsPerOp != 0 {
+				return fmt.Errorf("run %d: %s engine charged %d hot-loop allocs/op — the slot loop must not allocate",
+					i, run.Engine, run.HotAllocsPerOp)
+			}
 		}
 		key := fmt.Sprintf("%s/%d", run.Engine, run.Terminals)
 		if _, dup := tsps[key]; dup {
@@ -335,22 +434,71 @@ func validateReport(r *Report) error {
 		tsps[key] = run.TerminalSlotsPerSec
 	}
 	for i, s := range r.Speedups {
-		fast, okF := tsps[fmt.Sprintf("fast/%d", s.Terminals)]
 		des, okD := tsps[fmt.Sprintf("des/%d", s.Terminals)]
-		if !okF || !okD {
-			return fmt.Errorf("speedup %d: no run pair at %d terminals", i, s.Terminals)
+		if !okD {
+			return fmt.Errorf("speedup %d: no des run at %d terminals", i, s.Terminals)
 		}
-		want := fast / des
-		if !positiveFinite(s.FastOverDES) || math.Abs(s.FastOverDES-want) > 1e-6*want {
-			return fmt.Errorf("speedup %d: %v inconsistent with runs (want %v)", i, s.FastOverDES, want)
+		if s.FastOverDES == 0 && s.ColsOverDES == 0 {
+			return fmt.Errorf("speedup %d: empty entry at %d terminals", i, s.Terminals)
+		}
+		check := func(engine string, got float64) error {
+			batched, ok := tsps[fmt.Sprintf("%s/%d", engine, s.Terminals)]
+			if !ok {
+				if got != 0 {
+					return fmt.Errorf("speedup %d: no %s run at %d terminals", i, engine, s.Terminals)
+				}
+				return nil
+			}
+			want := batched / des
+			if !positiveFinite(got) || math.Abs(got-want) > 1e-6*want {
+				return fmt.Errorf("speedup %d: %s ratio %v inconsistent with runs (want %v)", i, engine, got, want)
+			}
+			return nil
+		}
+		if err := check("fast", s.FastOverDES); err != nil {
+			return err
+		}
+		if v1 {
+			if s.ColsOverDES != 0 {
+				return fmt.Errorf("speedup %d: cols ratio in a v1 document", i)
+			}
+			continue
+		}
+		if err := check("cols", s.ColsOverDES); err != nil {
+			return err
 		}
 	}
-	if !positiveFinite(r.HotLoop.NsPerTerminalSlot) {
-		return fmt.Errorf("hot loop: non-positive cost")
+	hots := r.HotLoops
+	if v1 {
+		if r.HotLoop == nil || len(r.HotLoops) != 0 {
+			return fmt.Errorf("v1 document must carry exactly the single hot_loop section")
+		}
+		hots = []HotLoop{*r.HotLoop}
+	} else if r.HotLoop != nil || len(r.HotLoops) == 0 {
+		return fmt.Errorf("v2 document must carry the hot_loops section (and not hot_loop)")
 	}
-	if r.HotLoop.AllocsPerOp != 0 || r.HotLoop.BytesPerOp != 0 {
-		return fmt.Errorf("hot loop: %d allocs/op, %d B/op — the steady-state loop must not allocate",
-			r.HotLoop.AllocsPerOp, r.HotLoop.BytesPerOp)
+	seen := make(map[string]bool, len(hots))
+	for i, h := range hots {
+		name := h.Engine
+		if v1 {
+			if name != "" {
+				return fmt.Errorf("hot loop: engine tag %q in a v1 document", name)
+			}
+			name = sim.EngineFast.String()
+		} else if e, err := sim.EngineByName(name); err != nil || e == sim.EngineDES {
+			return fmt.Errorf("hot loop %d: invalid engine %q", i, name)
+		}
+		if seen[name] {
+			return fmt.Errorf("hot loop %d: duplicate engine %s", i, name)
+		}
+		seen[name] = true
+		if !positiveFinite(h.NsPerTerminalSlot) {
+			return fmt.Errorf("hot loop %d: non-positive cost", i)
+		}
+		if h.AllocsPerOp != 0 || h.BytesPerOp != 0 {
+			return fmt.Errorf("hot loop %d (%s): %d allocs/op, %d B/op — the steady-state loop must not allocate",
+				i, name, h.AllocsPerOp, h.BytesPerOp)
+		}
 	}
 	return nil
 }

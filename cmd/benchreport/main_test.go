@@ -8,12 +8,13 @@ import (
 	"testing"
 )
 
-// fakeRuns builds a plausible pair of engine measurements without running
+// fakeRuns builds a plausible set of engine measurements without running
 // real benchmarks (which would take minutes); the report-assembly and
 // validation logic is what these tests pin down.
 func fakeRuns(p Params) []Run {
-	mk := func(engine string, terminals int, ns float64) Run {
+	mk := func(engine string, terminals int, ns float64, hotAllocs int64) Run {
 		tslots := float64(terminals) * float64(p.Slots)
+		setup := int64(tslots / 100)
 		return Run{
 			Engine:              engine,
 			Terminals:           terminals,
@@ -21,37 +22,107 @@ func fakeRuns(p Params) []Run {
 			Slots:               p.Slots,
 			NsPerTerminalSlot:   ns,
 			TerminalSlotsPerSec: 1e9 / ns,
-			AllocsPerOp:         int64(tslots / 100),
+			AllocsPerOp:         setup + hotAllocs,
 			BytesPerOp:          int64(tslots / 10),
+			SetupAllocsPerOp:    setup,
+			HotAllocsPerOp:      hotAllocs,
 		}
 	}
 	return []Run{
-		mk("fast", 10_000, 13), mk("fast", 100_000, 13.5),
-		mk("des", 10_000, 40), mk("des", 100_000, 45),
+		mk("fast", 10_000, 13, 0), mk("fast", 100_000, 13.5, 0),
+		mk("cols", 10_000, 9, 0), mk("cols", 100_000, 8.5, 0),
+		mk("des", 10_000, 40, 900), mk("des", 100_000, 45, 9000),
+	}
+}
+
+func fakeHotLoops() []HotLoop {
+	return []HotLoop{
+		{Engine: "fast", NsPerTerminalSlot: 25},
+		{Engine: "cols", NsPerTerminalSlot: 18},
 	}
 }
 
 func fakeReport() *Report {
 	p := defaultParams(256, 1)
-	hot := HotLoop{NsPerTerminalSlot: 25}
-	return buildReport(p, fakeRuns(p), hot)
+	return buildReport(p, fakeRuns(p), fakeHotLoops())
 }
 
-// TestBuildReportSpeedups checks the derived speedups: one per population,
-// the ratio of the engines' throughputs.
+// fakeV1Document is a legacy bench-engine/v1 report exactly as the v1
+// writer produced it: fast and des runs without the allocation split, a
+// single untagged hot_loop object, speedups with only the fast ratio.
+// The compat read path must keep accepting it verbatim.
+const fakeV1Document = `{
+  "schema": "bench-engine/v1",
+  "params": {
+    "model": "2d",
+    "q": 0.2,
+    "c": 0.03,
+    "update_cost": 100,
+    "poll_cost": 1,
+    "max_delay": 3,
+    "threshold": 3,
+    "slots": 256,
+    "shards": 1
+  },
+  "runs": [
+    {
+      "engine": "fast",
+      "terminals": 10000,
+      "shards": 1,
+      "slots": 256,
+      "ns_per_terminal_slot": 13,
+      "terminal_slots_per_sec": 76923076.9,
+      "allocs_per_op": 10000,
+      "bytes_per_op": 800000
+    },
+    {
+      "engine": "des",
+      "terminals": 10000,
+      "shards": 1,
+      "slots": 256,
+      "ns_per_terminal_slot": 39,
+      "terminal_slots_per_sec": 25641025.6,
+      "allocs_per_op": 30000,
+      "bytes_per_op": 2400000
+    }
+  ],
+  "hot_loop": {
+    "ns_per_terminal_slot": 25,
+    "allocs_per_op": 0,
+    "bytes_per_op": 0
+  },
+  "speedups": [
+    {
+      "terminals": 10000,
+      "fast_over_des": 3.0000000003
+    }
+  ]
+}
+`
+
+// TestBuildReportSpeedups checks the derived speedups: one per population
+// with a des run, carrying both batched engines' throughput ratios.
 func TestBuildReportSpeedups(t *testing.T) {
 	rep := fakeReport()
 	if len(rep.Speedups) != 2 {
 		t.Fatalf("got %d speedups, want 2", len(rep.Speedups))
 	}
-	want := map[int]float64{10_000: 40.0 / 13, 100_000: 45.0 / 13.5}
+	wantFast := map[int]float64{10_000: 40.0 / 13, 100_000: 45.0 / 13.5}
+	wantCols := map[int]float64{10_000: 40.0 / 9, 100_000: 45.0 / 8.5}
+	near := func(got, want float64) bool {
+		diff := got - want
+		return diff < 1e-9 && diff > -1e-9
+	}
 	for _, s := range rep.Speedups {
-		w, ok := want[s.Terminals]
+		wf, ok := wantFast[s.Terminals]
 		if !ok {
 			t.Fatalf("unexpected speedup population %d", s.Terminals)
 		}
-		if diff := s.FastOverDES - w; diff > 1e-9 || diff < -1e-9 {
-			t.Errorf("speedup at %d terminals = %v, want %v", s.Terminals, s.FastOverDES, w)
+		if !near(s.FastOverDES, wf) {
+			t.Errorf("fast speedup at %d terminals = %v, want %v", s.Terminals, s.FastOverDES, wf)
+		}
+		if wc := wantCols[s.Terminals]; !near(s.ColsOverDES, wc) {
+			t.Errorf("cols speedup at %d terminals = %v, want %v", s.Terminals, s.ColsOverDES, wc)
 		}
 	}
 	if rep.Schema != Schema {
@@ -75,9 +146,18 @@ func TestValidateReport(t *testing.T) {
 		{"unknown engine", func(r *Report) { r.Runs[0].Engine = "warp" }, "unknown engine"},
 		{"zero throughput", func(r *Report) { r.Runs[1].TerminalSlotsPerSec = 0 }, "non-positive"},
 		{"duplicate run", func(r *Report) { r.Runs[1] = r.Runs[0] }, "duplicate"},
-		{"orphan speedup", func(r *Report) { r.Speedups[0].Terminals = 777 }, "no run pair"},
-		{"inconsistent speedup", func(r *Report) { r.Speedups[0].FastOverDES *= 2 }, "inconsistent"},
-		{"allocating hot loop", func(r *Report) { r.HotLoop.AllocsPerOp = 3 }, "must not allocate"},
+		{"broken alloc split", func(r *Report) { r.Runs[4].SetupAllocsPerOp++ }, "inconsistent with total"},
+		{"allocating cols loop", func(r *Report) {
+			r.Runs[2].AllocsPerOp += 7
+			r.Runs[2].HotAllocsPerOp += 7
+		}, "must not allocate"},
+		{"orphan speedup", func(r *Report) { r.Speedups[0].Terminals = 777 }, "no des run"},
+		{"inconsistent speedup", func(r *Report) { r.Speedups[0].ColsOverDES *= 2 }, "inconsistent with runs"},
+		{"missing hot loops", func(r *Report) { r.HotLoops = nil }, "hot_loops"},
+		{"both hot loop sections", func(r *Report) { r.HotLoop = &HotLoop{NsPerTerminalSlot: 1} }, "not hot_loop"},
+		{"des hot loop", func(r *Report) { r.HotLoops[0].Engine = "des" }, "invalid engine"},
+		{"duplicate hot loop", func(r *Report) { r.HotLoops[1].Engine = "fast" }, "duplicate engine"},
+		{"allocating hot loop", func(r *Report) { r.HotLoops[1].AllocsPerOp = 3 }, "must not allocate"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			rep := fakeReport()
@@ -85,6 +165,48 @@ func TestValidateReport(t *testing.T) {
 			err := validateReport(rep)
 			if err == nil {
 				t.Fatal("corrupted report accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateV1Compat decodes and validates a verbatim legacy document
+// through the CLI path, then checks the v1-specific rejections: a v2-only
+// field smuggled into a v1 document must fail.
+func TestValidateV1Compat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	if err := os.WriteFile(path, []byte(fakeV1Document), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-validate", path}, &out); err != nil {
+		t.Fatalf("legacy report rejected: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid bench-engine/v1 report") {
+		t.Errorf("confirmation missing from %q", out.String())
+	}
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"cols speedup", func(r *Report) { r.Speedups[0].ColsOverDES = 2 }, "v1 document"},
+		{"tagged hot loop", func(r *Report) { r.HotLoop.Engine = "fast" }, "v1 document"},
+		{"hot_loops section", func(r *Report) { r.HotLoops = []HotLoop{{Engine: "fast", NsPerTerminalSlot: 1}} }, "hot_loop"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var rep Report
+			if err := json.Unmarshal([]byte(fakeV1Document), &rep); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(&rep)
+			err := validateReport(&rep)
+			if err == nil {
+				t.Fatal("corrupted v1 report accepted")
 			}
 			if !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
@@ -105,7 +227,7 @@ func TestValidateFileRoundTrip(t *testing.T) {
 	if err := run([]string{"-validate", path}, &out); err != nil {
 		t.Fatalf("round-trip validation failed: %v", err)
 	}
-	if !strings.Contains(out.String(), "valid bench-engine/v1 report") {
+	if !strings.Contains(out.String(), "valid bench-engine/v2 report") {
 		t.Errorf("confirmation missing from %q", out.String())
 	}
 
@@ -142,6 +264,8 @@ func TestRunFlagValidation(t *testing.T) {
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 		{"bad terminals", []string{"-terminals", "10,x"}, "terminals"},
 		{"negative terminals", []string{"-terminals", "-5"}, "terminals"},
+		{"unknown engine", []string{"-engines", "warp"}, "unknown engine"},
+		{"duplicate engine", []string{"-engines", "cols,cols"}, "duplicate"},
 		{"zero slots", []string{"-slots", "0"}, "slots"},
 		{"zero reps", []string{"-reps", "0"}, "reps"},
 		{"missing validate file", []string{"-validate", "no/such/report.json"}, "no such file"},
@@ -169,5 +293,16 @@ func TestParseTerminals(t *testing.T) {
 	}
 	if _, err := parseTerminals(""); err == nil {
 		t.Error("empty list accepted")
+	}
+}
+
+// TestParseEngines pins the engine-list parser.
+func TestParseEngines(t *testing.T) {
+	got, err := parseEngines("fast, cols")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].String() != "fast" || got[1].String() != "cols" {
+		t.Errorf("parseEngines = %v", got)
 	}
 }

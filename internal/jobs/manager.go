@@ -69,10 +69,9 @@ type job struct {
 	started  time.Time
 	finished time.Time
 
-	// progress receives live per-shard counters while the job runs;
-	// shardSizes converts them to terminal-slot totals.
-	progress   *telemetry.Progress
-	shardSizes []int64
+	// progress receives live per-shard counters while the job runs; the
+	// engines publish completed terminal-slots directly (ShardStatus.Work).
+	progress *telemetry.Progress
 
 	// cancel aborts the running simulation; cancelRequested records that
 	// a client (or shutdown) asked for it, distinguishing cancellation
@@ -158,13 +157,12 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	}
 	m.seq++
 	j := &job{
-		id:         fmt.Sprintf("j%06d", m.seq),
-		spec:       spec,
-		state:      StateQueued,
-		created:    m.opts.Clock(),
-		progress:   &telemetry.Progress{},
-		shardSizes: spec.shardSizes(),
-		done:       make(chan struct{}),
+		id:       fmt.Sprintf("j%06d", m.seq),
+		spec:     spec,
+		state:    StateQueued,
+		created:  m.opts.Clock(),
+		progress: &telemetry.Progress{},
+		done:     make(chan struct{}),
 	}
 	select {
 	case m.queue <- j:
@@ -253,13 +251,14 @@ func runSpec(ctx context.Context, spec Spec, prog *telemetry.Progress) (*locman.
 
 // progressSlots sums the live per-shard progress into completed
 // terminal-slots; the caller must hold the lock (the underlying
-// counters are atomic, so reading them is always safe).
+// counters are atomic, so reading them is always safe). The engines
+// report completed work directly (ShardStatus.Work), at sub-batch
+// granularity where they have it (the columnar engine publishes per
+// cohort), so no slot-times-size arithmetic happens here.
 func (j *job) progressSlots() int64 {
 	var total int64
 	for _, s := range j.progress.Snapshot() {
-		if int(s.Shard) < len(j.shardSizes) {
-			total += s.Slot * j.shardSizes[s.Shard]
-		}
+		total += s.Work
 	}
 	return total
 }

@@ -253,6 +253,52 @@ func TestManagerCancelRunning(t *testing.T) {
 	}
 }
 
+// TestManagerCancelColsEngine is TestManagerCancelRunning on the
+// columnar engine: a running cols job must observe cancellation within
+// one cohort block and land in the cancelled state through the service,
+// inside the same two-second promise the other engines honour.
+func TestManagerCancelColsEngine(t *testing.T) {
+	m := New(Options{QueueDepth: 4, Workers: 1})
+	defer m.Shutdown(context.Background())
+
+	big := testSpec()
+	big.Engine = "cols"
+	// A population wider than one cohort and a slot count deep enough
+	// that the run cannot finish first.
+	big.Terminals = 10_000
+	big.Slots = 50_000_000
+	v, err := m.Submit(big)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, err := m.Get(v.ID)
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		if got.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	if _, err := m.Cancel(v.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	final := waitTerminal(t, m, v.ID)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want < 2s", elapsed)
+	}
+	if final.State != StateCancelled || final.Error != "" {
+		t.Fatalf("final state = %s (%q), want cancelled with no error", final.State, final.Error)
+	}
+}
+
 // TestManagerCancelQueued cancels a job before any worker touches it.
 func TestManagerCancelQueued(t *testing.T) {
 	m := New(Options{QueueDepth: 4, Workers: 1})

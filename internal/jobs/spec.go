@@ -183,23 +183,6 @@ func (s *Spec) ResolvedShards() int {
 	return n
 }
 
-// shardSizes returns the number of terminals each resolved shard owns,
-// mirroring the engine's partition arithmetic; the job service uses it
-// to turn per-shard progress into terminal-slot totals.
-func (s *Spec) shardSizes() []int64 {
-	n := s.ResolvedShards()
-	if n <= 0 {
-		return nil
-	}
-	out := make([]int64, n)
-	for i := 0; i < n; i++ {
-		lo := i * s.Terminals / n
-		hi := (i + 1) * s.Terminals / n
-		out[i] = int64(hi - lo)
-	}
-	return out
-}
-
 // Validate rejects unusable specs with errors phrased for API clients.
 // It covers both the service-level constraints (positive run shape,
 // sane timeout) and the full engine validation, so a Spec that

@@ -11,21 +11,25 @@ import (
 )
 
 // cancelConfig is a run big enough that it cannot finish before the test
-// cancels it: a wide population with a slot count in the millions.
+// cancels it: a wide population with a slot count in the millions. The
+// population exceeds the columnar engine's cohort width after sharding,
+// so its shards hold more than one cohort.
 func cancelConfig(engine Engine) Config {
 	cfg := baseConfig(chain.TwoDimExact, 0.1, 0.02, 2, 2)
-	cfg.Terminals = 2_000
+	cfg.Terminals = 10_000
 	cfg.Engine = engine
 	return cfg
 }
 
-// TestRunShardedCtxCancelPrompt checks the service-layer contract both
-// engines must honour: cancelling the context of an in-flight run makes
+// TestRunShardedCtxCancelPrompt checks the service-layer contract every
+// engine must honour: cancelling the context of an in-flight run makes
 // RunShardedCtx return ctx.Err() promptly — well inside the 2-second
 // bound pcnserve promises for job cancellation — instead of running to
-// completion.
+// completion. For the columnar engine the population spans multiple
+// cohorts, so cancellation must be observed mid-batch, without waiting
+// for the cohort walk to finish the slot batch.
 func TestRunShardedCtxCancelPrompt(t *testing.T) {
-	for _, engine := range []Engine{EngineFast, EngineDES} {
+	for _, engine := range []Engine{EngineFast, EngineDES, EngineCols} {
 		t.Run(engine.String(), func(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
 			defer cancel()

@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/des"
+	"repro/internal/grid"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// The columnar cohort engine (EngineCols).
+//
+// The fast path already inverted the reference engine's loop — terminals
+// advance through whole slot batches in memory order — but each terminal
+// still drags its full struct (parameters, estimator, fault bookkeeping;
+// well over a cache line) through the hot loop, and still asks the RNG
+// one question per slot. At millions of terminals the struct walk is
+// what blows the cache: BENCH_engine.json shows fast-path throughput
+// falling between 100k and 1M terminals.
+//
+// The columnar engine splits the state by temperature. The few words the
+// per-slot decision actually needs — position, center, threshold, the
+// precomputed call/move thresholds, the RNG state and the scheduler
+// bookkeeping — live in flat parallel slices (one cache-dense column
+// each), while the terminal structs are kept as a cold mirror that only
+// event handling touches: scheduled closures (ack timers) capture
+// *terminal, so those pointers must stay stable and the struct fields
+// must be current whenever network code runs. The engine walks terminals
+// in cohorts of colsCohortTerminals per slot batch, which bounds how
+// stale the cohort-granular progress accounting can get and gives
+// cancellation a natural check boundary.
+//
+// Inside a terminal's event-free stretch the engine stops asking "did
+// anything happen this slot?" and instead asks "how many slots until
+// something happens?" — stats.RNG.EventGap draws the gap to the next
+// call-or-move event directly. The gap sampler is the per-slot threshold
+// scan itself (one call draw, then one move draw, per slot, in sweepSlot
+// order), so it consumes the identical stream positions as the scalar
+// engines and bit-identity is preserved by construction; what it buys is
+// that the generator state, position and center stay in registers for
+// the whole stretch instead of round-tripping through memory every slot.
+// Cell geometry is inlined on a concrete grid.Hex/grid.Line branch
+// rather than called through the locator interface: an interface call
+// would force the register-resident RNG copy to escape to the heap,
+// and the hot loop must not allocate at any population size.
+//
+// Everything the fast path established about equivalence carries over
+// unchanged (see the contract notes in fast.go): slow slots run the
+// reference sweepSlot on the struct mirror, per-terminal event timing
+// replays the reference tie-break via preSweep marks and RunBefore, and
+// telemetry frames are captured at the same batch boundaries with the
+// same accounting.
+
+// colsCohortTerminals is the cohort width: terminals are advanced
+// through each slot batch in blocks of this many. The hot columns of a
+// cohort (~100 B/terminal) fit comfortably in L2, and a cohort is the
+// granularity of progress publication.
+const colsCohortTerminals = 4096
+
+// colsState holds the hot columns, indexed by terminal position within
+// the shard. The RNG column is the flat slice newShardNetwork seeds —
+// terminal i's rng pointer aliases element i, so the cold paths and the
+// columnar kernel consume one and the same stream.
+type colsState struct {
+	rngs []stats.RNG
+	// pos and ctr mirror terminal.pos and terminal.center; thr mirrors
+	// terminal.threshold. The columns are authoritative between cold
+	// calls; syncTerminal/syncColumns move the values across.
+	pos []wire.Cell
+	ctr []wire.Cell
+	thr []int32
+	// callT and moveT are the precomputed integer Bernoulli thresholds
+	// for the per-slot call and movement draws (stats.BernoulliThreshold
+	// of params.C and moveProb; both are fixed for the whole run).
+	callT []uint64
+	moveT []uint64
+	// sched and preSweep are the per-terminal scheduler machinery, and
+	// curD/runLen the batched threshold-usage accounting — exactly
+	// fastTerm's fields, as columns.
+	sched    []des.Scheduler
+	preSweep []uint64
+	curD     []int32
+	runLen   []int64
+}
+
+func newColsState(terms []terminal, rngs []stats.RNG, startD int) *colsState {
+	n := len(terms)
+	c := &colsState{
+		rngs:     rngs,
+		pos:      make([]wire.Cell, n),
+		ctr:      make([]wire.Cell, n),
+		thr:      make([]int32, n),
+		callT:    make([]uint64, n),
+		moveT:    make([]uint64, n),
+		sched:    make([]des.Scheduler, n),
+		preSweep: make([]uint64, n),
+		curD:     make([]int32, n),
+		runLen:   make([]int64, n),
+	}
+	for i := range terms {
+		t := &terms[i]
+		c.pos[i] = t.pos
+		c.ctr[i] = t.center
+		c.thr[i] = int32(t.threshold)
+		c.callT[i] = stats.BernoulliThreshold(t.params.C)
+		c.moveT[i] = stats.BernoulliThreshold(t.moveProb)
+		c.curD[i] = int32(startD)
+	}
+	return c
+}
+
+// syncTerminal refreshes the cold struct mirror from the columns, so
+// network code (sweeps, paging, update exchanges, queued timers) sees
+// the terminal's current state.
+func (c *colsState) syncTerminal(t *terminal, i int) {
+	t.pos = c.pos[i]
+	t.center = c.ctr[i]
+	t.threshold = int(c.thr[i])
+}
+
+// syncColumns writes the struct mirror back to the columns after cold
+// code may have changed it.
+func (c *colsState) syncColumns(t *terminal, i int) {
+	c.pos[i] = t.pos
+	c.ctr[i] = t.center
+	c.thr[i] = int32(t.threshold)
+}
+
+// flushThreshold credits terminal i's batched threshold-usage run; see
+// fastTerm.flushThreshold.
+func (c *colsState) flushThreshold(i int, m *Metrics) {
+	if c.runLen[i] > 0 {
+		m.ThresholdSlots[int(c.curD[i])] += c.runLen[i]
+	}
+}
+
+// runShardCols simulates terminals [lo, hi) with the columnar cohort
+// engine, bit-identical to runShard and runShardFast for every
+// configuration. The batch structure matches the fast path (slot batches
+// bounded by the telemetry cadence, frames captured at the boundaries,
+// final drain of late timers); within a batch, terminals advance in
+// cohorts, and within a terminal, event-free stretches collapse into
+// EventGap draws on register-resident state.
+func runShardCols(ctx context.Context, cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
+	n, terms, rngs, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
+	if err != nil {
+		return shardResult{}, err
+	}
+	_, isHex := loc.(hexLocator)
+	c := newColsState(terms, rngs, startD)
+
+	every := cfg.Telemetry.SnapshotEvery
+	prog := cfg.Telemetry.Progress
+	dyn := cfg.Dynamic
+	done := ctx.Done()
+	width := int64(hi - lo)
+	var frames []telemetry.ShardFrame
+	// subEvents counts dispatched sub-slot events across all terminals,
+	// same convention as the fast path.
+	var subEvents uint64
+
+	for cur := int64(0); cur < slots; {
+		next := slots
+		if every > 0 {
+			if b := (cur/every + 1) * every; b < next {
+				next = b
+			}
+		}
+		last := next == slots
+		for first := 0; first < len(terms); first += colsCohortTerminals {
+			endT := first + colsCohortTerminals
+			if endT > len(terms) {
+				endT = len(terms)
+			}
+			for i := first; i < endT; i++ {
+				t := &terms[i]
+				sched := &c.sched[i]
+				n.sched = sched
+				for s := cur; s < next; {
+					if done != nil {
+						select {
+						case <-done:
+							return shardResult{}, ctx.Err()
+						default:
+						}
+					}
+					if sched.Pending() > 0 || (dyn && s > 0 && s%cfg.ReoptimizeEvery == 0) {
+						// Slow slot: run the reference two-phase event
+						// path on the struct mirror. The mirror must be
+						// current before any queued event dispatches
+						// (retransmissions read t.pos), and the columns
+						// are refreshed after the sweep.
+						c.syncTerminal(t, i)
+						base := des.Time(s) * SlotTicks
+						if sched.Pending() > 0 {
+							subEvents += sched.RunBefore(base, c.preSweep[i])
+						}
+						sched.AdvanceTo(base)
+						if int32(t.threshold) == c.curD[i] {
+							c.runLen[i]++
+						} else {
+							c.flushThreshold(i, n.metrics)
+							c.curD[i] = int32(t.threshold)
+							c.runLen[i] = 1
+						}
+						n.sweepSlot(t)
+						if dyn && s > 0 && s%cfg.ReoptimizeEvery == 0 {
+							n.reoptimize(t)
+						}
+						c.preSweep[i] = sched.SeqMark()
+						if sched.Pending() > 0 {
+							subEvents += sched.RunBefore(base+SlotTicks, c.preSweep[i])
+						}
+						c.syncColumns(t, i)
+						s++
+						continue
+					}
+					// Pure stretch: load the terminal's hot state into
+					// registers and consume event gaps until the stretch
+					// ends or the scheduler is armed.
+					stop := next
+					if dyn {
+						if b := (s/cfg.ReoptimizeEvery + 1) * cfg.ReoptimizeEvery; b < stop {
+							stop = b
+						}
+					}
+					if done != nil && stop-s > ctxCheckSlots {
+						stop = s + ctxCheckSlots
+					}
+					start := s
+					lr := rngs[i]
+					pos, ctr := c.pos[i], c.ctr[i]
+					thr := int(c.thr[i])
+					callT, moveT := c.callT[i], c.moveT[i]
+					for s < stop {
+						gap, called, hit := lr.EventGap(callT, moveT, stop-s)
+						if dyn {
+							// The estimator's float sequence must match
+							// the scalar per-slot updates exactly, so
+							// event-free slots are replayed one by one —
+							// no closed-form decay.
+							for k := int64(0); k < gap; k++ {
+								t.est.observe(false, false)
+							}
+						}
+						s += gap
+						if !hit {
+							break
+						}
+						if called {
+							// Inline paging exchange through the cold
+							// path: publish registers, run, reload (the
+							// chain draws losses from the shared RNG
+							// column and may re-center the terminal).
+							rngs[i] = lr
+							t.pos, t.center, t.threshold = pos, ctr, thr
+							subEvents += n.fastPage(t, des.Time(s)*SlotTicks)
+							ctr = t.center
+							lr = rngs[i]
+							if dyn {
+								t.est.observe(false, true)
+							}
+							s++
+							continue
+						}
+						// Move event: direction draw, then the threshold
+						// crossing check, on concrete grid math (an
+						// interface call here would heap-escape lr).
+						var d int
+						if isHex {
+							h := grid.Hex{Q: int(pos.Q), R: int(pos.R)}.Neighbor(lr.Intn(6))
+							pos = wire.Cell{Q: int32(h.Q), R: int32(h.R)}
+							d = h.Dist(grid.Hex{Q: int(ctr.Q), R: int(ctr.R)})
+						} else {
+							l := grid.Line(pos.Q).Neighbor(lr.Intn(2))
+							pos = wire.Cell{Q: int32(l)}
+							d = l.Dist(grid.Line(ctr.Q))
+						}
+						touched := false
+						if d > thr {
+							rngs[i] = lr
+							sched.AdvanceTo(des.Time(s) * SlotTicks)
+							ctr = pos
+							t.pos, t.center, t.threshold = pos, ctr, thr
+							n.sendUpdate(t)
+							lr = rngs[i]
+							touched = true
+						}
+						if dyn {
+							t.est.observe(true, false)
+						}
+						s++
+						if touched {
+							c.preSweep[i] = sched.SeqMark()
+							if sched.Pending() > 0 {
+								subEvents += sched.RunBefore(des.Time(s)*SlotTicks, c.preSweep[i])
+								// Dispatched retransmissions consume RNG
+								// draws and may re-center; reload before
+								// falling back to the per-slot path.
+								lr = rngs[i]
+								pos, ctr = t.pos, t.center
+								break
+							}
+						}
+					}
+					rngs[i] = lr
+					c.pos[i], c.ctr[i] = pos, ctr
+					// The whole stretch ran at one threshold (only
+					// reoptimize moves it, never inside a stretch).
+					if int32(thr) == c.curD[i] {
+						c.runLen[i] += s - start
+					} else {
+						c.flushThreshold(i, n.metrics)
+						c.curD[i] = int32(thr)
+						c.runLen[i] = s - start
+					}
+				}
+				if last {
+					// Late timers resolve against the current mirror,
+					// exactly as the reference engine's final drain.
+					c.syncTerminal(t, i)
+					subEvents += sched.Drain()
+					c.syncColumns(t, i)
+					c.flushThreshold(i, n.metrics)
+				}
+			}
+			if endT < len(terms) {
+				// Cohort-granular progress: slot stays at the batch
+				// floor while completed work and events advance, so
+				// pollers watch a run move through a deep batch instead
+				// of seeing it jump at the boundary.
+				prog.Set(shard, cur, cur*width+int64(endT)*(next-cur), uint64(cur)+subEvents)
+			}
+		}
+		cur = next
+		prog.Set(shard, cur, cur*width, uint64(cur)+subEvents)
+		if every > 0 {
+			frames = append(frames, n.snapshot(cur, subEvents))
+		}
+	}
+
+	n.metrics.Events = subEvents
+	return shardResult{metrics: finishShard(n, terms, slots), frames: frames}, nil
+}

@@ -177,7 +177,7 @@ func (n *network) fastPage(t *terminal, base des.Time) uint64 {
 // stretch cap never engages, keeping the hot loop byte-for-byte as fast
 // as before.
 func runShardFast(ctx context.Context, cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
-	n, terms, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
+	n, terms, _, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
 	if err != nil {
 		return shardResult{}, err
 	}
@@ -319,7 +319,7 @@ func runShardFast(ctx context.Context, cfg Config, slots int64, shard, lo, hi, s
 			}
 		}
 		cur = next
-		prog.Set(shard, cur, uint64(cur)+subEvents)
+		prog.Set(shard, cur, cur*int64(len(terms)), uint64(cur)+subEvents)
 		if every > 0 {
 			// Interior boundaries land on the telemetry cadence; the
 			// final frame always lands on the run boundary, covering the

@@ -8,14 +8,16 @@ import (
 	"repro/internal/chain"
 )
 
-// TestFastPathEquivalence is the fast engine's contract: for every
+// TestFastPathEquivalence is the derived engines' contract: for every
 // configuration class — both grids, static and dynamic thresholds, zero
-// and nonzero fault plans, telemetry on and off — EngineFast produces
-// bit-identical Metrics to the reference EngineDES, at every shard count.
-// reflect.DeepEqual on the full Metrics covers the counters, the
-// per-terminal records, the Welford accumulator states, both latency
-// histograms and the telemetry snapshot series; a JSON comparison guards
-// the serialized view on top. Run under -race in CI.
+// and nonzero fault plans, telemetry on and off — EngineFast and
+// EngineCols produce bit-identical Metrics to the reference EngineDES,
+// at every shard count. reflect.DeepEqual on the full Metrics covers the
+// counters, the per-terminal records, the Welford accumulator states,
+// both latency histograms and the telemetry snapshot series; a JSON
+// comparison guards the serialized view on top. Run under -race in CI.
+// (locman's TestEngineEquivalence covers the same cross-product at the
+// public Report-bytes level.)
 func TestFastPathEquivalence(t *testing.T) {
 	for _, tc := range []struct {
 		name  string
@@ -151,23 +153,25 @@ func TestFastPathEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			for _, shards := range []int{1, 3} {
-				cfg := tc.cfg()
-				cfg.Engine = EngineFast
-				got, err := RunSharded(cfg, tc.slots, shards)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !reflect.DeepEqual(got, want) {
-					t.Errorf("fast engine diverged from DES at %d shard(s):\nfast: %+v\ndes:  %+v",
-						shards, got, want)
-				}
-				gotJSON, err := json.Marshal(got)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if string(gotJSON) != string(wantJSON) {
-					t.Errorf("serialized metrics diverged at %d shard(s)", shards)
+			for _, engine := range []Engine{EngineFast, EngineCols} {
+				for _, shards := range []int{1, 3} {
+					cfg := tc.cfg()
+					cfg.Engine = engine
+					got, err := RunSharded(cfg, tc.slots, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s engine diverged from DES at %d shard(s):\n%s: %+v\ndes:  %+v",
+							engine, shards, engine, got, want)
+					}
+					gotJSON, err := json.Marshal(got)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(gotJSON) != string(wantJSON) {
+						t.Errorf("%s serialized metrics diverged at %d shard(s)", engine, shards)
+					}
 				}
 			}
 		})
@@ -180,7 +184,7 @@ func TestEngineValidation(t *testing.T) {
 	if (Config{}).Engine != EngineFast {
 		t.Error("zero-value engine is not the fast path")
 	}
-	for _, name := range []string{"fast", "des"} {
+	for _, name := range []string{"fast", "des", "cols"} {
 		e, err := EngineByName(name)
 		if err != nil {
 			t.Fatal(err)

@@ -81,8 +81,11 @@ func RunShardedCtx(ctx context.Context, cfg Config, slots int64, shards int) (*M
 	}
 
 	engine := runShard
-	if cfg.Engine == EngineFast {
+	switch cfg.Engine {
+	case EngineFast:
 		engine = runShardFast
+	case EngineCols:
+		engine = runShardCols
 	}
 	cfg.Telemetry.Progress.Init(shards)
 	parts, err := sweep.MapCtx(ctx, shards, 0, func(ctx context.Context, s int) (shardResult, error) {
@@ -138,7 +141,7 @@ func validate(cfg Config, slots int64) error {
 		return fmt.Errorf("sim: negative telemetry snapshot cadence %d", cfg.Telemetry.SnapshotEvery)
 	}
 	switch cfg.Engine {
-	case EngineFast, EngineDES:
+	case EngineFast, EngineDES, EngineCols:
 	default:
 		return fmt.Errorf("sim: unknown engine %d", int(cfg.Engine))
 	}
@@ -166,12 +169,16 @@ func startThreshold(cfg Config) (int, error) {
 	return res.Best.Threshold, nil
 }
 
-// newShardNetwork builds the starting state both engines share for
+// newShardNetwork builds the starting state the engines share for
 // terminals [lo, hi) of the global population: the network (HLR
 // provisioned with every terminal's initial registration, shard-sized
 // metrics) and the terminal population itself, laid out contiguously so
-// the engines' sweeps walk memory in order.
-func newShardNetwork(cfg Config, slots int64, lo, hi, startD int, loc locator) (*network, []terminal, error) {
+// the engines' sweeps walk memory in order. The per-terminal generators
+// live in one flat returned slice — terminal i's rng points at element
+// i — so engines that walk generator state columnarly (runShardCols)
+// share the identical state the terminal structs use, and no engine
+// pays a heap allocation per terminal.
+func newShardNetwork(cfg Config, slots int64, lo, hi, startD int, loc locator) (*network, []terminal, []stats.RNG, error) {
 	n := &network{
 		cfg:   cfg,
 		loc:   loc,
@@ -191,18 +198,20 @@ func newShardNetwork(cfg Config, slots int64, lo, hi, startD int, loc locator) (
 	}
 
 	terms := make([]terminal, hi-lo)
+	rngs := make([]stats.RNG, hi-lo)
 	for g := lo; g < hi; g++ {
 		p := cfg.Core.Params
 		if cfg.PerTerminal != nil {
 			p = cfg.PerTerminal(g)
 			if err := p.Validate(); err != nil {
-				return nil, nil, fmt.Errorf("sim: terminal %d: %w", g, err)
+				return nil, nil, nil, fmt.Errorf("sim: terminal %d: %w", g, err)
 			}
 		}
 		t := &terms[g-lo]
 		t.id = uint32(g)
 		t.params = p
-		t.rng = stats.SubStream(cfg.Seed, uint64(g))
+		rngs[g-lo].SeedSubStream(cfg.Seed, uint64(g))
+		t.rng = &rngs[g-lo]
 		t.est = estimator{alpha: cfg.EWMAAlpha}
 		t.threshold = startD
 		if p.Q > 0 {
@@ -214,7 +223,7 @@ func newShardNetwork(cfg Config, slots int64, lo, hi, startD int, loc locator) (
 		n.register(t.makeUpdate())
 		t.ackedSeq = t.seq
 	}
-	return n, terms, nil
+	return n, terms, rngs, nil
 }
 
 // finishShard folds the per-terminal tail metrics (mean cost rate, final
@@ -241,7 +250,7 @@ func finishShard(n *network, terms []terminal, slots int64) *Metrics {
 // the next slot boundary (in-flight sub-slot events still drain) and
 // returns ctx.Err().
 func runShard(ctx context.Context, cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
-	n, terms, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
+	n, terms, _, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
 	if err != nil {
 		return shardResult{}, err
 	}
@@ -296,7 +305,7 @@ func runShard(ctx context.Context, cfg Config, slots int64, shard, lo, hi, start
 			}
 		}
 		cur++
-		prog.Set(shard, cur, sched.Processed())
+		prog.Set(shard, cur, cur*int64(len(terms)), sched.Processed())
 		if cur < slots {
 			sched.After(SlotTicks, slot)
 		}
@@ -311,7 +320,7 @@ func runShard(ctx context.Context, cfg Config, slots int64, shard, lo, hi, start
 		// whole run including any events drained after the last slot.
 		capture(slots, uint64(slots))
 	}
-	prog.Set(shard, slots, sched.Processed())
+	prog.Set(shard, slots, slots*int64(len(terms)), sched.Processed())
 
 	n.metrics.Events = sched.Processed() - uint64(slots)
 	return shardResult{metrics: finishShard(n, terms, slots), frames: frames}, nil

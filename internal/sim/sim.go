@@ -37,10 +37,11 @@ import (
 // mobility.
 const SlotTicks = 2048
 
-// Engine selects the simulation engine implementation. Both engines
+// Engine selects the simulation engine implementation. All engines
 // produce bit-identical Metrics, telemetry series and histograms for every
 // configuration — the equivalence contract enforced by
-// TestFastPathEquivalence — so the choice is purely about speed.
+// TestFastPathEquivalence and locman's TestEngineEquivalence — so the
+// choice is purely about speed.
 type Engine int
 
 const (
@@ -52,8 +53,14 @@ const (
 	EngineFast Engine = iota
 	// EngineDES is the reference event-driven engine: one discrete-event
 	// scheduler per shard sweeps the whole population every slot. It is
-	// the specification the fast path is differentially tested against.
+	// the specification the other engines are differentially tested
+	// against.
 	EngineDES
+	// EngineCols is the columnar cohort engine: per-terminal hot state
+	// lives in flat parallel slices walked in cache-sized cohorts, and
+	// event-free stretches are skipped with exact geometric gap-sampling
+	// (stats.EventGap) instead of per-slot draws. See runShardCols.
+	EngineCols
 )
 
 // String names the engine.
@@ -63,6 +70,8 @@ func (e Engine) String() string {
 		return "fast"
 	case EngineDES:
 		return "des"
+	case EngineCols:
+		return "cols"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -72,13 +81,13 @@ func (e Engine) String() string {
 // order; CLI help strings and error messages are built from this single
 // list so they can never drift from the parser.
 func EngineNames() []string {
-	return []string{EngineFast.String(), EngineDES.String()}
+	return []string{EngineFast.String(), EngineDES.String(), EngineCols.String()}
 }
 
 // EngineByName resolves an engine name, for CLI flags. The error for an
 // unknown name enumerates every valid one.
 func EngineByName(name string) (Engine, error) {
-	for _, e := range []Engine{EngineFast, EngineDES} {
+	for _, e := range []Engine{EngineFast, EngineDES, EngineCols} {
 		if name == e.String() {
 			return e, nil
 		}

@@ -119,5 +119,19 @@ func (r *RNG) Split() *RNG {
 // what makes the sharded simulator's results invariant under re-partitioning
 // terminals across shards (sim.RunSharded).
 func SubStream(seed, id uint64) *RNG {
-	return NewRNG(mix64(seed) + 4*id*splitmixGamma)
+	r := new(RNG)
+	r.SeedSubStream(seed, id)
+	return r
+}
+
+// SeedSubStream reseeds r in place to stream id of the family rooted at
+// seed, bit-identical to SubStream(seed, id). Engines that keep their
+// per-terminal generators in one flat slice seed the elements with this
+// method instead of paying one heap allocation per terminal.
+func (r *RNG) SeedSubStream(seed, id uint64) {
+	sm := mix64(seed) + 4*id*splitmixGamma
+	for i := range r.s {
+		sm += splitmixGamma
+		r.s[i] = mix64(sm)
+	}
 }

@@ -14,14 +14,21 @@ type Progress struct {
 
 type shardProgress struct {
 	slot   atomic.Int64
+	work   atomic.Int64
 	events atomic.Uint64
 }
 
-// ShardStatus is one shard's live progress: the slots it has completed
-// and the scheduler events it has processed.
+// ShardStatus is one shard's live progress: the slots every terminal of
+// the shard has completed, the terminal-slots of work completed, and the
+// scheduler events processed. Work is at least Slot × the shard's
+// terminal count and can run ahead of it when the engine publishes at
+// sub-batch granularity (the columnar engine reports each finished
+// cohort), so consumers that want a smooth completion figure read Work
+// and never multiply Slot themselves.
 type ShardStatus struct {
 	Shard  int    `json:"shard"`
 	Slot   int64  `json:"slot"`
+	Work   int64  `json:"work"`
 	Events uint64 `json:"events"`
 }
 
@@ -35,9 +42,11 @@ func (p *Progress) Init(shards int) {
 	p.shards.Store(&s)
 }
 
-// Set records shard's current progress. Calls before Init, or with an
-// out-of-range shard index, are dropped.
-func (p *Progress) Set(shard int, slot int64, events uint64) {
+// Set records shard's current progress: the slot floor every terminal
+// has reached, the terminal-slots of work completed, and the events
+// processed. Calls before Init, or with an out-of-range shard index, are
+// dropped.
+func (p *Progress) Set(shard int, slot, work int64, events uint64) {
 	if p == nil {
 		return
 	}
@@ -46,6 +55,7 @@ func (p *Progress) Set(shard int, slot int64, events uint64) {
 		return
 	}
 	(*sp)[shard].slot.Store(slot)
+	(*sp)[shard].work.Store(work)
 	(*sp)[shard].events.Store(events)
 }
 
@@ -63,6 +73,7 @@ func (p *Progress) Snapshot() []ShardStatus {
 		out[i] = ShardStatus{
 			Shard:  i,
 			Slot:   (*sp)[i].slot.Load(),
+			Work:   (*sp)[i].work.Load(),
 			Events: (*sp)[i].events.Load(),
 		}
 	}

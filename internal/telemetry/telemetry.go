@@ -32,13 +32,16 @@ type Config struct {
 	// populations.
 	SnapshotEvery int64
 	// Progress, when non-nil, receives live per-shard progress updates
-	// (current slot, events processed) over atomic counters; poll
-	// Progress.Snapshot from another goroutine (e.g. an expvar handler)
-	// while the run is in flight. Update granularity is engine-dependent:
-	// the reference engine publishes after every slot, the fast engine
-	// once per slot batch (the telemetry cadence, or the whole run when
-	// SnapshotEvery is zero). Both engines agree at every batch boundary,
-	// so polled values are always a prefix of the same trajectory.
+	// (current slot, terminal-slots of work completed, events processed)
+	// over atomic counters; poll Progress.Snapshot from another goroutine
+	// (e.g. an expvar handler) while the run is in flight. Update
+	// granularity is engine-dependent: the reference engine publishes
+	// after every slot, the fast engine once per slot batch (the
+	// telemetry cadence, or the whole run when SnapshotEvery is zero),
+	// and the columnar engine additionally publishes work/events after
+	// every finished cohort inside a batch. All engines agree at every
+	// batch boundary, so polled values are always a prefix of the same
+	// trajectory.
 	Progress *Progress
 }
 

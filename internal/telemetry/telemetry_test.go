@@ -107,22 +107,25 @@ func TestSummarize(t *testing.T) {
 
 func TestProgressLifecycle(t *testing.T) {
 	var nilProg *Progress
-	nilProg.Set(0, 1, 1) // nil receiver is a no-op
+	nilProg.Set(0, 1, 1, 1) // nil receiver is a no-op
 	if got := nilProg.Snapshot(); got != nil {
 		t.Errorf("nil progress snapshot %v", got)
 	}
 
 	p := &Progress{}
-	p.Set(0, 5, 5) // before Init: dropped
+	p.Set(0, 5, 5, 5) // before Init: dropped
 	if got := p.Snapshot(); got != nil {
 		t.Errorf("pre-Init snapshot %v", got)
 	}
 	p.Init(2)
-	p.Set(0, 100, 250)
-	p.Set(1, 90, 200)
-	p.Set(7, 1, 1)  // out of range: dropped
-	p.Set(-1, 1, 1) // out of range: dropped
-	want := []ShardStatus{{Shard: 0, Slot: 100, Events: 250}, {Shard: 1, Slot: 90, Events: 200}}
+	p.Set(0, 100, 800, 250)
+	p.Set(1, 90, 720, 200)
+	p.Set(7, 1, 1, 1)  // out of range: dropped
+	p.Set(-1, 1, 1, 1) // out of range: dropped
+	want := []ShardStatus{
+		{Shard: 0, Slot: 100, Work: 800, Events: 250},
+		{Shard: 1, Slot: 90, Work: 720, Events: 200},
+	}
 	if got := p.Snapshot(); !reflect.DeepEqual(got, want) {
 		t.Errorf("snapshot %+v, want %+v", got, want)
 	}
@@ -139,7 +142,7 @@ func TestProgressConcurrent(t *testing.T) {
 		go func(shard int) {
 			defer wg.Done()
 			for i := int64(0); i < 1000; i++ {
-				p.Set(shard, i, uint64(i))
+				p.Set(shard, i, 8*i, uint64(i))
 			}
 		}(w)
 	}

@@ -1,0 +1,121 @@
+package locman
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestEngineEquivalence is the three-engine differential suite and the
+// merge gate for any engine change: over the cross product of
+// {1d, 2d} × {static, dynamic threshold} × {zero faults, lossy+outage},
+// every engine at every shard count in {1, 3, 7} must produce a Report
+// whose JSON document is byte-identical to the single-shard reference
+// engine's. Comparing the full Report bytes — not just headline metrics
+// — covers the counters, per-call delay and recovery summaries, both
+// histograms and the telemetry snapshot series; byte equality against
+// one reference makes every pair of {des, fast, cols} equal by
+// transitivity. Run under -race in CI.
+func TestEngineEquivalence(t *testing.T) {
+	grids := []struct {
+		name  string
+		model Model
+	}{
+		{"1d", OneDimensional},
+		{"2d", TwoDimensional},
+	}
+	modes := []struct {
+		name    string
+		dynamic bool
+	}{
+		{"static", false},
+		{"dynamic", true},
+	}
+	faults := []struct {
+		name string
+		plan FaultPlan
+	}{
+		{"clean", FaultPlan{}},
+		{"lossy", FaultPlan{
+			UpdateLoss:    0.25,
+			PollLoss:      0.15,
+			ReplyLoss:     0.1,
+			UpdateRetries: 2,
+			PageRetries:   3,
+			Outages:       []Outage{{Start: 300, End: 450}, {Start: 1_200, End: 1_350}},
+		}},
+	}
+	engines := []Engine{EngineDES, EngineFast, EngineCols}
+	shardCounts := []int{1, 3, 7}
+
+	config := func(model Model, dynamic bool, plan FaultPlan) NetworkConfig {
+		cfg := NetworkConfig{
+			Config: Config{
+				Model:      model,
+				MoveProb:   0.2,
+				CallProb:   0.04,
+				UpdateCost: 50,
+				PollCost:   1,
+				MaxDelay:   3,
+			},
+			Terminals: 9,
+			Threshold: 2,
+			Dynamic:   dynamic,
+			Faults:    plan,
+			// A cadence that divides neither the run length nor the
+			// dynamic reoptimization period, so frame boundaries land
+			// mid-batch for the batched engines.
+			SnapshotEvery: 400,
+			Seed:          11,
+		}
+		if dynamic {
+			cfg.ReoptimizeEvery = 500
+			cfg.PerTerminal = func(i int) (float64, float64) {
+				return 0.08 + 0.05*float64(i%4), 0.01 + 0.015*float64(i%3)
+			}
+		}
+		return cfg
+	}
+	const slots = 1_500
+
+	marshal := func(t *testing.T, cfg NetworkConfig, engine Engine, shards int) []byte {
+		t.Helper()
+		cfg.Engine = engine
+		m, err := SimulateNetworkSharded(cfg, slots, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(NewReport(m), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	for _, g := range grids {
+		for _, mode := range modes {
+			for _, f := range faults {
+				t.Run(fmt.Sprintf("%s/%s/%s", g.name, mode.name, f.name), func(t *testing.T) {
+					cfg := config(g.model, mode.dynamic, f.plan)
+					want := marshal(t, cfg, EngineDES, 1)
+					if f.plan.UpdateLoss > 0 && bytes.Contains(want, []byte(`"lost_updates": 0,`)) {
+						t.Fatal("lossy plan exercised no losses; the case covers nothing")
+					}
+					for _, engine := range engines {
+						for _, shards := range shardCounts {
+							if engine == EngineDES && shards == 1 {
+								continue // the reference itself
+							}
+							got := marshal(t, cfg, engine, shards)
+							if !bytes.Equal(got, want) {
+								t.Errorf("%s engine at %d shard(s) diverged from the single-shard reference:\n%s\nreference:\n%s",
+									engine, shards, got, want)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}

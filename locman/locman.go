@@ -302,8 +302,9 @@ type NetworkConfig struct {
 	Seed uint64
 	// Engine selects the simulation engine: EngineFast (the zero value)
 	// is the slot-batched fast path, EngineDES the reference event-driven
-	// engine. Both produce bit-identical metrics, telemetry series and
-	// histograms for every configuration; the choice is purely speed.
+	// engine, EngineCols the columnar cohort engine for very large
+	// populations. All produce bit-identical metrics, telemetry series
+	// and histograms for every configuration; the choice is purely speed.
 	Engine Engine
 }
 
@@ -317,10 +318,13 @@ const (
 	EngineFast = sim.EngineFast
 	// EngineDES is the reference event-driven engine.
 	EngineDES = sim.EngineDES
+	// EngineCols is the columnar cohort engine: flat per-terminal state
+	// columns walked in cache-sized cohorts with geometric gap-sampling.
+	EngineCols = sim.EngineCols
 )
 
-// EngineByName resolves "fast" or "des", for CLI flags; the error for an
-// unknown name enumerates the valid ones.
+// EngineByName resolves "fast", "des" or "cols", for CLI flags; the
+// error for an unknown name enumerates the valid ones.
 func EngineByName(name string) (Engine, error) { return sim.EngineByName(name) }
 
 // EngineNames lists the names EngineByName resolves, for CLI help

@@ -69,9 +69,12 @@ func TestReportEngineEquivalence(t *testing.T) {
 		}
 		return b
 	}
-	fast, des := marshal(EngineFast), marshal(EngineDES)
+	fast, des, cols := marshal(EngineFast), marshal(EngineDES), marshal(EngineCols)
 	if !bytes.Equal(fast, des) {
 		t.Errorf("report JSON diverged between engines\nfast:\n%s\ndes:\n%s", fast, des)
+	}
+	if !bytes.Equal(cols, des) {
+		t.Errorf("report JSON diverged between engines\ncols:\n%s\ndes:\n%s", cols, des)
 	}
 }
 
