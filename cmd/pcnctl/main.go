@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/jobs"
 	"repro/internal/server"
@@ -62,15 +63,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	global.SetOutput(stderr)
 	global.Usage = func() { fmt.Fprint(stderr, usage) }
 	addr := global.String("addr", "http://localhost:8080", "pcnserve base URL")
+	retries := global.Int("retries", 4,
+		"retry transient connection failures (refused/reset) this many times before giving up")
+	retryBase := global.Duration("retry-base", 200*time.Millisecond,
+		"first retry backoff; doubles per attempt with ±50% jitter")
 	if err := global.Parse(args); err != nil {
 		return err
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", *retries)
+	}
+	if *retryBase <= 0 {
+		return fmt.Errorf("-retry-base must be positive, got %v", *retryBase)
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
 		fmt.Fprint(stderr, usage)
 		return fmt.Errorf("missing command")
 	}
-	c := &client{base: strings.TrimRight(*addr, "/")}
+	c := &client{
+		base:      strings.TrimRight(*addr, "/"),
+		retries:   *retries,
+		retryBase: *retryBase,
+		sleep:     time.Sleep,
+	}
 
 	cmd, rest := rest[0], rest[1:]
 	switch cmd {
@@ -211,7 +227,7 @@ func (c *client) submit(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	resp, err := c.do("POST", "/api/v1/jobs", bytes.NewReader(body))
+	resp, err := c.do("POST", "/api/v1/jobs", body)
 	if err != nil {
 		return err
 	}
@@ -242,12 +258,43 @@ func (c *client) submit(args []string, stdout, stderr io.Writer) error {
 	return c.copyBody(stdout, "/api/v1/jobs/"+view.ID+"/result")
 }
 
-// follow consumes a job's NDJSON stream, narrating progress to stderr,
-// and returns the terminal state from the final result frame.
+// follow consumes a job's NDJSON stream to its terminal state,
+// reattaching (bounded by -retries) when the stream drops: a crashed or
+// restarting pcnserve resets the connection, and for a moment after
+// restart it may 404/503 the job while journal replay rebuilds the
+// table. Submitted jobs survive the crash (the durable journal
+// re-enqueues them), so reattaching and waiting is the right move.
 func (c *client) follow(id string, stderr io.Writer) (jobs.State, error) {
+	var state jobs.State
+	attached := false
+	err := c.retrying(
+		func(err error) bool {
+			if !attached {
+				// Never attached: only connection-level failures retry;
+				// a 404 here means the job genuinely does not exist.
+				return transient(err)
+			}
+			return reattachable(err)
+		},
+		func() error {
+			var err error
+			var ok bool
+			state, ok, err = c.followOnce(id, stderr)
+			attached = attached || ok
+			if err != nil && attached {
+				fmt.Fprintf(stderr, "%s: stream dropped (%v), reattaching\n", id, err)
+			}
+			return err
+		})
+	return state, err
+}
+
+// followOnce attaches to the stream once; the bool reports whether the
+// attach succeeded (frames may follow), even if the stream later died.
+func (c *client) followOnce(id string, stderr io.Writer) (jobs.State, bool, error) {
 	resp, err := c.do("GET", "/api/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
@@ -256,7 +303,7 @@ func (c *client) follow(id string, stderr io.Writer) (jobs.State, error) {
 	for sc.Scan() {
 		var f server.StreamFrame
 		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
-			return "", fmt.Errorf("watch %s: bad frame %q: %w", id, sc.Text(), err)
+			return "", true, fmt.Errorf("watch %s: bad frame %q: %w", id, sc.Text(), err)
 		}
 		switch f.Type {
 		case "state":
@@ -273,14 +320,14 @@ func (c *client) follow(id string, stderr io.Writer) (jobs.State, error) {
 			} else {
 				fmt.Fprintf(stderr, "%s: %s\n", id, f.State)
 			}
-			return f.State, nil
+			return f.State, true, nil
 		}
 		last = f.State
 	}
 	if err := sc.Err(); err != nil {
-		return "", fmt.Errorf("watch %s: %w", id, err)
+		return last, true, fmt.Errorf("watch %s: %w", id, err)
 	}
-	return last, fmt.Errorf("watch %s: stream ended without a result frame", id)
+	return last, true, fmt.Errorf("watch %s: %w", id, errStreamEnded)
 }
 
 // parseOutages parses comma-separated start:end slot windows, matching
@@ -305,23 +352,37 @@ func parseOutages(s string) ([]jobs.OutageSpec, error) {
 	return out, nil
 }
 
-// client is a minimal pcnserve API client.
+// client is a minimal pcnserve API client with transient-failure
+// retries; see retry.go for the policy.
 type client struct {
-	base string
-	hc   http.Client
+	base      string
+	hc        http.Client
+	retries   int
+	retryBase time.Duration
+	sleep     func(time.Duration) // time.Sleep, injectable for tests
 }
 
-// do performs one request and turns non-2xx responses into errors using
-// the service's {"error": "..."} body.
-func (c *client) do(method, path string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequest(method, c.base+path, body)
-	if err != nil {
-		return nil, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.hc.Do(req)
+// do performs one request, retrying transient connection failures, and
+// turns non-2xx responses into *statusError using the service's
+// {"error": "..."} body. The body is taken as bytes, not a reader, so
+// every retry attempt sends the complete payload.
+func (c *client) do(method, path string, body []byte) (*http.Response, error) {
+	var resp *http.Response
+	err := c.retrying(transient, func() error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err = c.hc.Do(req)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -331,16 +392,17 @@ func (c *client) do(method, path string, body io.Reader) (*http.Response, error)
 		var e struct {
 			Error string `json:"error"`
 		}
+		msg := fmt.Sprintf("%s %s: %s", method, path, resp.Status)
 		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
+			msg = fmt.Sprintf("%s %s: %s (%s)", method, path, e.Error, resp.Status)
 		}
-		return nil, fmt.Errorf("%s %s: %s", method, path, resp.Status)
+		return nil, &statusError{code: resp.StatusCode, msg: msg}
 	}
 	return resp, nil
 }
 
 // printJSON performs a request and copies the JSON document to stdout.
-func (c *client) printJSON(stdout io.Writer, method, path string, body io.Reader) error {
+func (c *client) printJSON(stdout io.Writer, method, path string, body []byte) error {
 	resp, err := c.do(method, path, body)
 	if err != nil {
 		return err

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"syscall"
+	"time"
+)
+
+// Retry policy: a restarting pcnserve (crash recovery, rolling deploy)
+// briefly refuses or resets connections; the CLI rides that out instead
+// of failing the whole submit. Only connection-level failures are
+// transient — HTTP-level errors mean the service is up and said no, and
+// are surfaced immediately (except during stream reattach, see follow).
+
+// transient reports whether an error is a connection-level failure
+// worth retrying: the listener is not up yet (refused), the connection
+// died mid-flight (reset, broken pipe, unexpected EOF), or a dial/read
+// timed out.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// statusError is a non-2xx response from the service, preserved with
+// its code so the stream-reattach path can distinguish "job not visible
+// yet during journal replay" (404/503) from a real client error.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// backoff sleeps for retryBase<<attempt scaled by a uniform jitter in
+// [0.5, 1.5), the standard defense against reconnect stampedes when
+// many clients watch one restarting service.
+func (c *client) backoff(attempt int) {
+	d := c.retryBase << uint(attempt)
+	d = time.Duration(float64(d) * (0.5 + rand.Float64()))
+	c.sleep(d)
+}
+
+// retrying runs fn up to 1+retries times, backing off between attempts,
+// while shouldRetry accepts the failure.
+func (c *client) retrying(shouldRetry func(error) bool, fn func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = fn(); err == nil || attempt >= c.retries || !shouldRetry(err) {
+			return err
+		}
+		c.backoff(attempt)
+	}
+}
+
+// reattachable classifies stream-drop errors for follow: beyond plain
+// connection failures, a 404 or 503 counts once the stream had been
+// attached — a freshly restarted daemon returns those while journal
+// replay is still rebuilding the job table.
+func reattachable(err error) bool {
+	if transient(err) || errors.Is(err, errStreamEnded) {
+		return true
+	}
+	var se *statusError
+	return errors.As(err, &se) && (se.code == 404 || se.code == 503)
+}
+
+// errStreamEnded marks a stream that closed cleanly without a result
+// frame — what a draining or dying server leaves behind.
+var errStreamEnded = fmt.Errorf("stream ended without a result frame")

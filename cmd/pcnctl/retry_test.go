@@ -1,0 +1,210 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// newRetryClient builds a client pointed at base with instant,
+// recorded sleeps.
+func newRetryClient(base string, retries int) (*client, *[]time.Duration) {
+	var slept []time.Duration
+	c := &client{
+		base:      strings.TrimRight(base, "/"),
+		retries:   retries,
+		retryBase: 100 * time.Millisecond,
+		sleep:     func(d time.Duration) { slept = append(slept, d) },
+	}
+	return c, &slept
+}
+
+func TestTransientClassification(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"refused", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		{"reset", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{"broken pipe", &net.OpError{Op: "write", Err: syscall.EPIPE}, true},
+		{"eof", io.EOF, true},
+		{"unexpected eof", fmt.Errorf("wrapped: %w", io.ErrUnexpectedEOF), true},
+		{"plain error", errors.New("boom"), false},
+		{"http status", &statusError{code: 429, msg: "too many"}, false},
+	} {
+		if got := transient(tc.err); got != tc.want {
+			t.Errorf("transient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestReattachableAcceptsRecoveryStatuses(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want bool
+	}{
+		{&statusError{code: 404, msg: "no such job"}, true},
+		{&statusError{code: 503, msg: "recovering"}, true},
+		{&statusError{code: 409, msg: "not done"}, false},
+		{errStreamEnded, true},
+		{fmt.Errorf("watch j000001: %w", errStreamEnded), true},
+		{io.EOF, true},
+		{errors.New("bad frame"), false},
+	} {
+		if got := reattachable(tc.err); got != tc.want {
+			t.Errorf("reattachable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffJitterBounds: every sleep must land in [base<<n * 0.5,
+// base<<n * 1.5) — exponential growth with jitter, never zero.
+func TestBackoffJitterBounds(t *testing.T) {
+	c, slept := newRetryClient("http://unused", 3)
+	for attempt := 0; attempt < 4; attempt++ {
+		c.backoff(attempt)
+	}
+	for attempt, d := range *slept {
+		base := c.retryBase << uint(attempt)
+		lo, hi := base/2, base+base/2
+		if d < lo || d >= hi {
+			t.Errorf("attempt %d slept %v, want [%v, %v)", attempt, d, lo, hi)
+		}
+	}
+}
+
+// TestDoRetriesConnectionRefused: a dead listener is retried exactly
+// -retries times and still fails; each attempt backs off.
+func TestDoRetriesConnectionRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + ln.Addr().String()
+	ln.Close()
+
+	c, slept := newRetryClient(dead, 2)
+	_, err = c.do("GET", "/api/v1/jobs", nil)
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("err = %v, want connection refused", err)
+	}
+	if len(*slept) != 2 {
+		t.Errorf("backed off %d times, want 2", len(*slept))
+	}
+}
+
+// TestDoRecoversAfterDroppedConnections: the first two attempts are
+// killed at the TCP level, the third succeeds — the caller sees only
+// the success, with the full request body intact on the winning try.
+func TestDoRecoversAfterDroppedConnections(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // mid-request drop: client sees EOF/reset
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	}))
+	defer srv.Close()
+
+	c, slept := newRetryClient(srv.URL, 4)
+	// Disable keep-alives so each attempt dials fresh rather than
+	// racing to reuse the connection the handler just killed.
+	c.hc.Transport = &http.Transport{DisableKeepAlives: true}
+	resp, err := c.do("POST", "/echo", []byte(`{"ping":true}`))
+	if err != nil {
+		t.Fatalf("do: %v (after %d backoffs)", err, len(*slept))
+	}
+	defer resp.Body.Close()
+	echoed, _ := io.ReadAll(resp.Body)
+	if string(echoed) != `{"ping":true}` {
+		t.Errorf("retried request lost its body: %q", echoed)
+	}
+	if calls.Load() != 3 || len(*slept) != 2 {
+		t.Errorf("calls = %d, backoffs = %d; want 3 and 2", calls.Load(), len(*slept))
+	}
+}
+
+// TestFollowReattachesAcrossStreamDrops: the stream dies once without a
+// result frame and 404s once (journal replay not finished), then
+// delivers the result; follow must ride through both.
+func TestFollowReattachesAcrossStreamDrops(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			// Attach succeeds, one state frame, then the server "dies".
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"type":"state","job":"j000001","state":"running"}`)
+		case 2:
+			// Restarted daemon, job table not rebuilt yet.
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error":"no such job j000001"}`)
+		default:
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			fmt.Fprintln(w, `{"type":"result","job":"j000001","state":"done"}`)
+		}
+	}))
+	defer srv.Close()
+
+	c, _ := newRetryClient(srv.URL, 4)
+	var stderr strings.Builder
+	state, err := c.follow("j000001", &stderr)
+	if err != nil {
+		t.Fatalf("follow: %v\nstderr: %s", err, stderr.String())
+	}
+	if state != jobs.StateDone {
+		t.Errorf("state = %s, want done", state)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("stream attached %d times, want 3", calls.Load())
+	}
+	if !strings.Contains(stderr.String(), "reattaching") {
+		t.Errorf("stderr never narrated the reattach: %s", stderr.String())
+	}
+}
+
+// TestFollowDoesNotRetryMissingJobOnFirstAttach: a 404 before any
+// successful attach is a real error, not a crash symptom.
+func TestFollowDoesNotRetryMissingJobOnFirstAttach(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"no such job j999999"}`)
+	}))
+	defer srv.Close()
+
+	c, slept := newRetryClient(srv.URL, 4)
+	var stderr strings.Builder
+	_, err := c.follow("j999999", &stderr)
+	var se *statusError
+	if !errors.As(err, &se) || se.code != 404 {
+		t.Fatalf("err = %v, want a 404 statusError", err)
+	}
+	if calls.Load() != 1 || len(*slept) != 0 {
+		t.Errorf("calls = %d, backoffs = %d; want 1 and 0", calls.Load(), len(*slept))
+	}
+}

@@ -4,19 +4,25 @@
 //
 //	pcnsim -terminals 200 -slots 2000 -telemetry-every 500 -json | schemacheck
 //	pcnctl get j000001 | schemacheck -kind job
+//	schemacheck -kind journal < data/journal.ndjson
 //
 // "report" (the default) is a pcnsim -json / pcnserve result document:
 // it must decode into locman.Report with no unknown fields and satisfy
 // the report's cross-field invariants. "job" is a pcnserve job document
-// (jobs.View) as served by GET /api/v1/jobs/{id}. CI pipes smoke runs
-// of both through it so any drift between the emitted JSON and the
-// published schema fails the build.
+// (jobs.View) as served by GET /api/v1/jobs/{id}. "journal" is a
+// pcnserve durable job journal (checksummed NDJSON), validated
+// strictly: every record must carry a valid checksum, a strictly
+// increasing sequence number, and a well-formed payload — the check the
+// service itself applies leniently (longest valid prefix) at boot. CI
+// pipes smoke runs of all three through it so any drift between the
+// emitted documents and the published schemas fails the build.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -29,8 +35,22 @@ func main() {
 	log.SetPrefix("schemacheck: ")
 
 	kind := flag.String("kind", "report",
-		"document kind on stdin: report (pcnsim -json) or job (pcnserve job document)")
+		"document kind on stdin: report (pcnsim -json), job (pcnserve job document), or journal (pcnserve job journal)")
 	flag.Parse()
+
+	if *kind == "journal" {
+		// NDJSON, not a single document: validated record-by-record.
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := jobs.CheckJournal(data)
+		if err != nil {
+			log.Fatalf("journal invalid after %d good records: %v", n, err)
+		}
+		fmt.Printf("ok: journal schema %d, %d records, %d bytes\n", jobs.JournalSchema, n, len(data))
+		return
+	}
 
 	dec := json.NewDecoder(os.Stdin)
 	dec.DisallowUnknownFields()
@@ -56,7 +76,7 @@ func main() {
 		fmt.Printf("ok: schema %d, job %s %s, %d/%d terminal-slots\n",
 			v.Schema, v.ID, v.State, v.TerminalSlots, v.TotalTerminalSlots)
 	default:
-		log.Fatalf("unknown -kind %q (valid kinds: report, job)", *kind)
+		log.Fatalf("unknown -kind %q (valid kinds: report, job, journal)", *kind)
 	}
 }
 

@@ -7,6 +7,7 @@ package des
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Time is a virtual timestamp. Its unit is defined by the simulation that
@@ -27,6 +28,7 @@ type Scheduler struct {
 type event struct {
 	at  Time
 	seq uint64
+	tag uint64
 	fn  func()
 }
 
@@ -74,6 +76,100 @@ func (s *Scheduler) At(t Time, fn func()) {
 // After schedules fn delay ticks from now.
 func (s *Scheduler) After(delay Time, fn func()) {
 	s.At(s.now+delay, fn)
+}
+
+// AfterTag is After with a caller-supplied non-zero tag attached to the
+// event. Tags exist for checkpointing: closures cannot be serialized, so
+// an event that may be pending when a simulation state snapshot is taken
+// must carry enough identity (packed into the tag by the caller) for
+// Restore to rebuild its closure. Untagged events (tag 0) cannot cross a
+// checkpoint; Checkpoint panics if one is pending.
+func (s *Scheduler) AfterTag(delay Time, tag uint64, fn func()) {
+	if tag == 0 {
+		panic("des: AfterTag with zero tag")
+	}
+	t := s.now + delay
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	heap.Push(&s.q, event{at: t, seq: s.seq, tag: tag, fn: fn})
+	s.seq++
+}
+
+// PendingEvent is one queued event in serializable form: its due time,
+// its insertion stamp (the FIFO tie-break among same-time events) and the
+// caller-assigned tag identifying its closure.
+type PendingEvent struct {
+	At  Time
+	Seq uint64
+	Tag uint64
+}
+
+// Checkpoint exports the scheduler's complete state: the clock, the
+// insertion-stamp counter, the dispatched-event count, and every pending
+// event sorted by (time, stamp). Every pending event must have been
+// scheduled with AfterTag — an untagged pending event has no serializable
+// identity, so its presence is a checkpoint-placement bug and panics.
+func (s *Scheduler) Checkpoint() (now Time, seq, ran uint64, pending []PendingEvent) {
+	if len(s.q) > 0 {
+		pending = make([]PendingEvent, len(s.q))
+		for i, e := range s.q {
+			if e.tag == 0 {
+				panic(fmt.Sprintf("des: checkpoint with untagged pending event at %d", e.at))
+			}
+			pending[i] = PendingEvent{At: e.at, Seq: e.seq, Tag: e.tag}
+		}
+		sort.Slice(pending, func(i, j int) bool {
+			if pending[i].At != pending[j].At {
+				return pending[i].At < pending[j].At
+			}
+			return pending[i].Seq < pending[j].Seq
+		})
+	}
+	return s.now, s.seq, s.ran, pending
+}
+
+// Restore reinitializes s (which must be the zero value) to a state
+// previously exported by Checkpoint: the clock, counters and pending
+// events are reinstated exactly, with bind mapping each pending event's
+// tag back to its closure. Because the original insertion stamps are
+// preserved, every (time, stamp) comparison — heap ordering, RunBefore
+// classification against a SeqMark — behaves identically to the
+// scheduler the checkpoint was taken from.
+func (s *Scheduler) Restore(now Time, seq, ran uint64, pending []PendingEvent, bind func(tag uint64) func()) {
+	if len(s.q) != 0 || s.seq != 0 || s.ran != 0 {
+		panic("des: restoring a non-zero scheduler")
+	}
+	s.now, s.seq, s.ran = now, seq, ran
+	for _, p := range pending {
+		fn := bind(p.Tag)
+		if fn == nil {
+			panic(fmt.Sprintf("des: restore bind returned nil for tag %#x", p.Tag))
+		}
+		if p.Seq >= seq {
+			panic(fmt.Sprintf("des: restored event stamp %d not below counter %d", p.Seq, seq))
+		}
+		heap.Push(&s.q, event{at: p.At, seq: p.Seq, tag: p.Tag, fn: fn})
+	}
+}
+
+// InsertAt schedules fn at absolute time t with an explicit insertion
+// stamp, for resume paths that re-create an event whose stamp was
+// assigned before the checkpoint (a restored run's next periodic event
+// must keep losing exactly the ties it lost originally). The stamp must
+// lie below the current counter — InsertAt never mints new stamps; use At
+// for that.
+func (s *Scheduler) InsertAt(t Time, seq uint64, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: inserting at %d before now %d", t, s.now))
+	}
+	if seq >= s.seq {
+		panic(fmt.Sprintf("des: inserted stamp %d not below counter %d", seq, s.seq))
+	}
+	if fn == nil {
+		panic("des: nil event function")
+	}
+	heap.Push(&s.q, event{at: t, seq: seq, fn: fn})
 }
 
 // Step dispatches the next event, advancing the clock to its timestamp.

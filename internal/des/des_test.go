@@ -230,3 +230,78 @@ func TestSelfPerpetuatingChainWithRunUntil(t *testing.T) {
 		t.Errorf("ticks = %d", ticks)
 	}
 }
+
+func TestCheckpointRestoreReplaysTies(t *testing.T) {
+	// Two tagged events at the same time: checkpoint/restore must keep
+	// their original insertion stamps, so the FIFO tie-break replays.
+	var s Scheduler
+	var order []uint64
+	s.AfterTag(5, 1, func() { order = append(order, 1) })
+	s.AfterTag(5, 2, func() { order = append(order, 2) })
+	now, seq, ran, pending := s.Checkpoint()
+	if len(pending) != 2 || pending[0].Tag != 1 || pending[1].Tag != 2 {
+		t.Fatalf("pending = %+v", pending)
+	}
+
+	var r Scheduler
+	r.Restore(now, seq, ran, pending, func(tag uint64) func() {
+		return func() { order = append(order, 10+tag) }
+	})
+	if r.Now() != now || r.Pending() != 2 || r.Processed() != ran {
+		t.Fatalf("restored state: now=%d pending=%d ran=%d", r.Now(), r.Pending(), r.Processed())
+	}
+	r.Drain()
+	if len(order) != 2 || order[0] != 11 || order[1] != 12 {
+		t.Errorf("dispatch order = %v, want [11 12]", order)
+	}
+}
+
+func TestCheckpointPanicsOnUntaggedPending(t *testing.T) {
+	var s Scheduler
+	s.After(1, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("checkpoint with an untagged pending event should panic")
+		}
+	}()
+	s.Checkpoint()
+}
+
+func TestAfterTagRejectsZeroTag(t *testing.T) {
+	var s Scheduler
+	defer func() {
+		if recover() == nil {
+			t.Error("AfterTag with tag 0 should panic")
+		}
+	}()
+	s.AfterTag(1, 0, func() {})
+}
+
+func TestInsertAtLosesOriginalTies(t *testing.T) {
+	// An event re-created with a pre-checkpoint stamp must dispatch
+	// before same-time events that were scheduled after it originally:
+	// stamp 0 was claimed before the tagged event's stamp 1, so after a
+	// restore that re-inserts it, it still wins the time-3 tie.
+	var order []int
+	var r Scheduler
+	r.Restore(0, 2, 1, []PendingEvent{{At: 3, Seq: 1, Tag: 7}},
+		func(uint64) func() {
+			return func() { order = append(order, 2) }
+		})
+	r.InsertAt(3, 0, func() { order = append(order, 1) })
+	r.Drain()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("dispatch order = %v, want [1 2]", order)
+	}
+}
+
+func TestRestoreRejectsStampAboveCounter(t *testing.T) {
+	var r Scheduler
+	defer func() {
+		if recover() == nil {
+			t.Error("restoring an event stamped at the counter should panic")
+		}
+	}()
+	r.Restore(0, 1, 0, []PendingEvent{{At: 1, Seq: 1, Tag: 3}},
+		func(uint64) func() { return func() {} })
+}

@@ -18,7 +18,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -34,6 +37,9 @@ var (
 	// ErrShuttingDown rejects submissions after Shutdown has begun
 	// (HTTP 503).
 	ErrShuttingDown = errors.New("jobs: shutting down")
+	// ErrRecovering rejects submissions while the journal is still being
+	// replayed after a restart (HTTP 503 — temporary, unlike shutdown).
+	ErrRecovering = errors.New("jobs: recovering")
 	// ErrNotFound reports an unknown job id (HTTP 404).
 	ErrNotFound = errors.New("jobs: no such job")
 	// ErrNotDone reports a result request for a job that has not
@@ -54,6 +60,17 @@ type Options struct {
 	// for tests — it never feeds the simulation, which is seeded purely
 	// from the Spec.
 	Clock func() time.Time
+	// DataDir enables durability: the append-only job journal and the
+	// per-job checkpoint files live beneath it, and New defers the worker
+	// pool until Recover has replayed the journal. Empty keeps the
+	// manager fully in-memory, behaving exactly as before.
+	DataDir string
+	// CheckpointEvery is the slot cadence at which running jobs persist
+	// resumable checkpoints (only meaningful with DataDir). 0 disables
+	// checkpoint capture; interrupted jobs then restart from slot 0 on
+	// recovery — the result is byte-identical either way, resumption
+	// only saves the already-simulated slots.
+	CheckpointEvery int64
 }
 
 // job is the Manager's internal record of one submission. All mutable
@@ -109,9 +126,24 @@ type Manager struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
+
+	// Durability state (nil/zero without a DataDir). recovering is true
+	// from New until Recover finishes replaying the journal; the
+	// counters feed the Prometheus recovery metrics.
+	journal       *Journal
+	recovering    bool
+	replayed      int64 // journal records replayed at boot
+	recovered     int64 // jobs re-enqueued by recovery
+	resumed       int64 // runs continued from a persisted checkpoint
+	ckptWritten   int64 // checkpoint files persisted
+	ckptFallbacks int64 // unusable checkpoints that forced a clean run
+	journalErrs   int64 // failed journal/checkpoint writes (best-effort)
 }
 
-// New starts a Manager with its worker pool running.
+// New starts a Manager. Without a DataDir the worker pool starts
+// immediately; with one, the manager boots in the recovering state —
+// rejecting submissions with ErrRecovering and running nothing — until
+// Recover has replayed the journal.
 func New(opts Options) *Manager {
 	if opts.QueueDepth <= 0 {
 		opts.QueueDepth = 64
@@ -130,7 +162,16 @@ func New(opts Options) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
-	for w := 0; w < opts.Workers; w++ {
+	if opts.DataDir == "" {
+		m.startWorkers()
+	} else {
+		m.recovering = true
+	}
+	return m
+}
+
+func (m *Manager) startWorkers() {
+	for w := 0; w < m.opts.Workers; w++ {
 		m.wg.Add(1)
 		go func() {
 			defer m.wg.Done()
@@ -139,7 +180,154 @@ func New(opts Options) *Manager {
 			}
 		}()
 	}
-	return m
+}
+
+// Recovering reports whether the manager is still replaying its journal
+// (always false without a DataDir).
+func (m *Manager) Recovering() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovering
+}
+
+// jobSeq extracts the numeric part of a job id ("j%06d"), so recovery
+// can continue the id sequence past every journaled job.
+func jobSeq(id string) int64 {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Recover opens and replays the journal, rebuilds the job table,
+// re-enqueues every job a crash left queued or running, and starts the
+// worker pool. It must be called exactly once on a DataDir-configured
+// manager before any submission is accepted; without a DataDir it is a
+// no-op. Completed jobs come back with their result bytes exactly as
+// journaled; interrupted jobs take the recovery edge running → queued
+// (itself journaled) and, when a checkpoint file survives, resume
+// mid-run rather than starting over. If more jobs need re-enqueueing
+// than the configured queue depth, the queue is grown to fit — recovery
+// never drops acknowledged work to backpressure.
+func (m *Manager) Recover() error {
+	if m.opts.DataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Join(m.opts.DataDir, "checkpoints"), 0o755); err != nil {
+		return err
+	}
+	jl, recs, err := OpenJournal(filepath.Join(m.opts.DataDir, "journal.ndjson"))
+	if err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		jl.Close()
+		return ErrShuttingDown
+	}
+	m.journal = jl
+	m.replayed = int64(len(recs))
+	for i := range recs {
+		rec := &recs[i]
+		switch rec.Kind {
+		case KindSubmit:
+			if _, dup := m.jobs[rec.Job]; dup {
+				continue
+			}
+			j := &job{
+				id:       rec.Job,
+				spec:     *rec.Spec,
+				state:    StateQueued,
+				created:  rec.Time,
+				progress: &telemetry.Progress{},
+				done:     make(chan struct{}),
+			}
+			m.jobs[rec.Job] = j
+			m.order = append(m.order, rec.Job)
+			if n := jobSeq(rec.Job); n > m.seq {
+				m.seq = n
+			}
+		case KindState:
+			j := m.jobs[rec.Job]
+			if j == nil || !CanTransition(j.state, rec.To) {
+				continue
+			}
+			if rec.To == StateDone && j.resultJSON == nil {
+				// A done record without its (always-preceding) result
+				// record means the journal was damaged between them;
+				// leave the job running so it re-queues below.
+				continue
+			}
+			j.state = rec.To
+			j.errText = rec.Error
+			if rec.To == StateRunning {
+				j.started = rec.Time
+			} else if rec.To.Terminal() {
+				j.finished = rec.Time
+			}
+		case KindResult:
+			if j := m.jobs[rec.Job]; j != nil {
+				j.resultJSON = rec.Result
+			}
+		}
+	}
+	// Walk the rebuilt table in submission order: terminal jobs settle
+	// (their done channels close), interrupted and never-started jobs
+	// re-enter the queue in their original order.
+	var pend []*job
+	for _, id := range m.order {
+		j := m.jobs[id]
+		switch j.state {
+		case StateRunning:
+			j.state = StateQueued
+			m.appendLocked(Record{Kind: KindState, Job: j.id, From: StateRunning, To: StateQueued})
+			m.recovered++
+			pend = append(pend, j)
+		case StateQueued:
+			m.recovered++
+			pend = append(pend, j)
+		default:
+			if j.state == StateDone {
+				j.doneSlots = j.spec.Slots * int64(j.spec.Terminals)
+			}
+			close(j.done)
+		}
+	}
+	if len(pend) > cap(m.queue) {
+		m.queue = make(chan *job, len(pend))
+	}
+	for _, j := range pend {
+		m.queue <- j
+	}
+	m.recovering = false
+	m.mu.Unlock()
+	m.startWorkers()
+	return nil
+}
+
+// appendLocked journals one record (stamped with the manager clock)
+// when durability is on. Journal failures after boot are counted and
+// surfaced through Stats rather than failing the live operation: the
+// in-memory state machine stays authoritative for the running process.
+// The one exception is Submit, which checks the error — a submission
+// that cannot be journaled is rejected, because acknowledging it would
+// promise durability the journal cannot honour.
+func (m *Manager) appendLocked(rec Record) error {
+	if m.journal == nil {
+		return nil
+	}
+	rec.Time = m.opts.Clock().UTC()
+	if err := m.journal.Append(rec); err != nil {
+		m.journalErrs++
+		return err
+	}
+	return nil
 }
 
 // Submit validates the spec and enqueues a new job, returning its view.
@@ -155,6 +343,9 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 	if m.closed {
 		return View{}, ErrShuttingDown
 	}
+	if m.recovering {
+		return View{}, ErrRecovering
+	}
 	m.seq++
 	j := &job{
 		id:       fmt.Sprintf("j%06d", m.seq),
@@ -164,12 +355,18 @@ func (m *Manager) Submit(spec Spec) (View, error) {
 		progress: &telemetry.Progress{},
 		done:     make(chan struct{}),
 	}
-	select {
-	case m.queue <- j:
-	default:
+	// Only workers drain the queue, so under the lock a observed free
+	// slot keeps the send below non-blocking; checking first lets the
+	// journal record be durable before the job becomes runnable.
+	if len(m.queue) == cap(m.queue) {
 		m.seq-- // the rejected submission never existed
 		return View{}, ErrQueueFull
 	}
+	if err := m.appendLocked(Record{Kind: KindSubmit, Job: j.id, Spec: &spec}); err != nil {
+		m.seq--
+		return View{}, fmt.Errorf("jobs: journaling submission: %w", err)
+	}
+	m.queue <- j
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	return m.viewLocked(j), nil
@@ -184,6 +381,7 @@ func (m *Manager) runJob(j *job) {
 		return
 	}
 	j.transition(StateRunning)
+	m.appendLocked(Record{Kind: KindState, Job: j.id, From: StateQueued, To: StateRunning})
 	j.started = m.opts.Clock()
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	if j.spec.TimeoutSec > 0 {
@@ -197,7 +395,7 @@ func (m *Manager) runJob(j *job) {
 	m.mu.Unlock()
 	defer cancel()
 
-	report, raw, runErr := runSpec(ctx, spec, prog)
+	report, raw, runErr := m.runSpec(ctx, j.id, spec, prog)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -209,33 +407,47 @@ func (m *Manager) runJob(j *job) {
 		j.report = report
 		j.resultJSON = raw
 		j.doneSlots = spec.Slots * int64(spec.Terminals)
+		// The result record precedes the done record, so a replayed
+		// done-state always finds its bytes already in place.
+		m.appendLocked(Record{Kind: KindResult, Job: j.id, Result: raw})
 		j.transition(StateDone)
+		m.appendLocked(Record{Kind: KindState, Job: j.id, From: StateRunning, To: StateDone})
 	case j.cancelRequested || errors.Is(runErr, context.Canceled):
 		j.doneSlots = j.progressSlots()
 		j.transition(StateCancelled)
+		m.appendLocked(Record{Kind: KindState, Job: j.id, From: StateRunning, To: StateCancelled})
 	case errors.Is(runErr, context.DeadlineExceeded):
 		j.errText = fmt.Sprintf("deadline exceeded after %gs", spec.TimeoutSec)
 		j.doneSlots = j.progressSlots()
 		j.transition(StateFailed)
+		m.appendLocked(Record{Kind: KindState, Job: j.id, From: StateRunning, To: StateFailed, Error: j.errText})
 	default:
 		j.errText = runErr.Error()
 		j.doneSlots = j.progressSlots()
 		j.transition(StateFailed)
+		m.appendLocked(Record{Kind: KindState, Job: j.id, From: StateRunning, To: StateFailed, Error: j.errText})
 	}
+	// A terminal job's checkpoint is dead weight; a fresh run of a
+	// resubmitted id must also never see a stale one.
+	m.removeCheckpointLocked(j.id)
 }
 
 // runSpec is the deterministic heart of the worker: exactly the engine
 // invocation and report encoding pcnsim performs, with a context and a
 // progress sink attached (neither influences the results). The returned
 // bytes are the report document, indented two spaces with a trailing
-// newline — identical to pcnsim -json output for the same Spec.
-func runSpec(ctx context.Context, spec Spec, prog *telemetry.Progress) (*locman.Report, []byte, error) {
+// newline — identical to pcnsim -json output for the same Spec. The
+// determinism contract extends across durability: checkpoint capture
+// never perturbs a run, and a run resumed from a checkpoint produces
+// the identical bytes (the sim layer's checkpoint-equivalence property),
+// so crash recovery is invisible in the result.
+func (m *Manager) runSpec(ctx context.Context, id string, spec Spec, prog *telemetry.Progress) (*locman.Report, []byte, error) {
 	cfg, err := spec.NetworkConfig()
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg.Progress = prog
-	metrics, err := locman.SimulateNetworkShardedCtx(ctx, cfg, spec.Slots, spec.Shards)
+	metrics, err := m.simulate(ctx, id, cfg, spec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -247,6 +459,113 @@ func runSpec(ctx context.Context, spec Spec, prog *telemetry.Progress) (*locman.
 		return nil, nil, err
 	}
 	return report, buf.Bytes(), nil
+}
+
+// simulate dispatches the engine run, threading the durability options
+// through: resume from a surviving checkpoint file when one fits the
+// spec, and persist fresh checkpoints at the configured cadence.
+func (m *Manager) simulate(ctx context.Context, id string, cfg locman.NetworkConfig, spec Spec) (*locman.NetworkMetrics, error) {
+	if m.journal == nil {
+		return locman.SimulateNetworkShardedCtx(ctx, cfg, spec.Slots, spec.Shards)
+	}
+	every := m.opts.CheckpointEvery
+	var sink func(*locman.Checkpoint)
+	if every > 0 {
+		sink = func(cp *locman.Checkpoint) { m.persistCheckpoint(id, cp) }
+	}
+	if cp := m.loadCheckpoint(id); cp != nil {
+		// shards 0 adopts the checkpoint's own partition, which also
+		// covers specs that left Shards at 0 (GOMAXPROCS at capture).
+		metrics, err := locman.ResumeNetworkCheckpointed(ctx, cfg, spec.Slots, 0, cp, every, sink)
+		if err == nil {
+			m.mu.Lock()
+			m.resumed++
+			m.mu.Unlock()
+			return metrics, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		// The checkpoint does not describe this run (config drift,
+		// partial write from an old binary); fall back to a clean run
+		// rather than failing the job.
+		m.mu.Lock()
+		m.ckptFallbacks++
+		m.mu.Unlock()
+	}
+	return locman.SimulateNetworkCheckpointed(ctx, cfg, spec.Slots, spec.Shards, every, sink)
+}
+
+// checkpointPath is where job id's resumable checkpoint lives.
+func (m *Manager) checkpointPath(id string) string {
+	return filepath.Join(m.opts.DataDir, "checkpoints", id+".ckpt")
+}
+
+// persistCheckpoint writes a checkpoint file atomically (temp file,
+// fsync, rename), so the file is always either the old complete
+// checkpoint or the new complete one — never a torn mix; the journal's
+// checkpoint record is purely informational. Called from a shard
+// goroutine mid-run; failures are counted, not fatal (the run itself is
+// unaffected, only resumability degrades).
+func (m *Manager) persistCheckpoint(id string, cp *locman.Checkpoint) {
+	err := func() error {
+		data, err := locman.EncodeCheckpoint(cp)
+		if err != nil {
+			return err
+		}
+		path := m.checkpointPath(id)
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(data); err == nil {
+			err = f.Sync()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return os.Rename(tmp, path)
+	}()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.journalErrs++
+		return
+	}
+	m.ckptWritten++
+	m.appendLocked(Record{Kind: KindCheckpoint, Job: id, Slot: cp.Slot})
+}
+
+// loadCheckpoint reads and decodes job id's checkpoint file, returning
+// nil when there is none (the common case) or when the bytes do not
+// decode (counted as a fallback; atomic persistence makes that a
+// damaged-disk case, not a crash-timing one).
+func (m *Manager) loadCheckpoint(id string) *locman.Checkpoint {
+	data, err := os.ReadFile(m.checkpointPath(id))
+	if err != nil {
+		return nil
+	}
+	cp, err := locman.DecodeCheckpoint(data)
+	if err != nil {
+		m.mu.Lock()
+		m.ckptFallbacks++
+		m.mu.Unlock()
+		return nil
+	}
+	return cp
+}
+
+// removeCheckpointLocked deletes a terminal job's checkpoint file.
+func (m *Manager) removeCheckpointLocked(id string) {
+	if m.journal == nil {
+		return
+	}
+	os.Remove(m.checkpointPath(id))
 }
 
 // progressSlots sums the live per-shard progress into completed
@@ -281,6 +600,8 @@ func (m *Manager) Cancel(id string) (View, error) {
 		j.cancelRequested = true
 		j.finished = m.opts.Clock()
 		j.transition(StateCancelled)
+		m.appendLocked(Record{Kind: KindState, Job: j.id, From: StateQueued, To: StateCancelled})
+		m.removeCheckpointLocked(j.id)
 	case StateRunning:
 		if !j.cancelRequested {
 			j.cancelRequested = true
@@ -361,6 +682,8 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 					j.cancelRequested = true
 					j.finished = m.opts.Clock()
 					j.transition(StateCancelled)
+					m.appendLocked(Record{Kind: KindState, Job: j.id, From: StateQueued, To: StateCancelled})
+					m.removeCheckpointLocked(j.id)
 				}
 			default:
 				break drain
@@ -375,14 +698,22 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(workersDone)
 	}()
+	var err error
 	select {
 	case <-workersDone:
-		return nil
 	case <-ctx.Done():
 		m.baseCancel()
 		<-workersDone
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// The workers have unwound, so no append can race the close.
+	m.mu.Lock()
+	if m.journal != nil {
+		m.journal.Close()
+		m.journal = nil
+	}
+	m.mu.Unlock()
+	return err
 }
 
 // Stats is a point-in-time snapshot of the service's operational state,
@@ -402,6 +733,21 @@ type Stats struct {
 	// non-decreasing, so it exports as a Prometheus counter and its rate
 	// is the service's terminal-slots/s throughput.
 	TerminalSlots int64
+	// Durability state (zero without a DataDir): whether journal replay
+	// is still in progress, the journal's current size, and the recovery
+	// counters — records replayed and jobs re-enqueued at the last boot,
+	// runs resumed from a checkpoint, checkpoints persisted, checkpoints
+	// that had to be abandoned for a clean run, and failed best-effort
+	// journal/checkpoint writes.
+	Recovering          bool
+	JournalBytes        int64
+	JournalRecords      int64
+	ReplayedRecords     int64
+	RecoveredJobs       int64
+	ResumedJobs         int64
+	CheckpointsWritten  int64
+	CheckpointFallbacks int64
+	JournalErrors       int64
 }
 
 // Stats returns the current operational snapshot.
@@ -409,11 +755,22 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
-		QueueDepth:  len(m.queue),
-		QueueCap:    m.opts.QueueDepth,
-		Workers:     m.opts.Workers,
-		BusyWorkers: m.busy,
-		States:      make(map[State]int64, 5),
+		QueueDepth:          len(m.queue),
+		QueueCap:            m.opts.QueueDepth,
+		Workers:             m.opts.Workers,
+		BusyWorkers:         m.busy,
+		States:              make(map[State]int64, 5),
+		Recovering:          m.recovering,
+		ReplayedRecords:     m.replayed,
+		RecoveredJobs:       m.recovered,
+		ResumedJobs:         m.resumed,
+		CheckpointsWritten:  m.ckptWritten,
+		CheckpointFallbacks: m.ckptFallbacks,
+		JournalErrors:       m.journalErrs,
+	}
+	if m.journal != nil {
+		st.JournalBytes = m.journal.Size()
+		st.JournalRecords = m.journal.Records()
 	}
 	for _, s := range States() {
 		st.States[s] = 0

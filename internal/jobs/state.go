@@ -6,11 +6,15 @@ import "fmt"
 //
 //	queued → running → done | failed
 //	queued | running → cancelled
+//	running → queued   (crash recovery only)
 //
 // and never leave a terminal state; Manager enforces the transition
 // relation (CanTransition) on every change, so an illegal move is a
 // programming error that surfaces immediately rather than a silently
-// corrupted job record.
+// corrupted job record. The one backward edge, running → queued, is
+// written during journal replay for jobs a crash interrupted mid-run:
+// the job re-enters the queue (resuming from its last persisted
+// checkpoint when one exists) rather than being lost.
 type State string
 
 const (
@@ -56,7 +60,8 @@ func CanTransition(from, to State) bool {
 	case StateQueued:
 		return to == StateRunning || to == StateCancelled
 	case StateRunning:
-		return to == StateDone || to == StateFailed || to == StateCancelled
+		return to == StateDone || to == StateFailed || to == StateCancelled ||
+			to == StateQueued // crash recovery: an interrupted run re-queues
 	default:
 		return false
 	}

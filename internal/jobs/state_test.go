@@ -12,6 +12,9 @@ func TestCanTransition(t *testing.T) {
 		{StateRunning, StateDone}:      true,
 		{StateRunning, StateFailed}:    true,
 		{StateRunning, StateCancelled}: true,
+		// The crash-recovery edge: journal replay re-queues jobs a crash
+		// interrupted mid-run.
+		{StateRunning, StateQueued}: true,
 	}
 	for _, from := range States() {
 		for _, to := range States() {

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// drainEstimator turns the manager's cumulative terminal-job counter
+// into a Retry-After hint for 429 responses. Each observation folds the
+// completion rate over the window since the previous one into an EWMA;
+// the advised wait is the expected time for one queue slot to free up
+// (1/rate seconds), clamped to a sane range. With no signal yet — first
+// scrape, or a service that has not finished a job recently — it falls
+// back to a fixed hint rather than advising 0 or infinity.
+type drainEstimator struct {
+	mu       sync.Mutex
+	lastTime time.Time
+	lastDone int64
+	rate     float64 // EWMA of completed jobs per second
+}
+
+const (
+	// drainAlpha weights the newest window; 0.5 tracks load shifts
+	// within a few observations without thrashing on a single burst.
+	drainAlpha = 0.5
+	// drainFallbackSeconds is advised when no completion rate is known.
+	drainFallbackSeconds = 5
+	// drainMinSeconds / drainMaxSeconds bound the advice: never tell a
+	// client "retry immediately" while the queue is full, and never
+	// push it out more than ten minutes.
+	drainMinSeconds = 1
+	drainMaxSeconds = 600
+)
+
+// observe folds a (now, cumulative terminal-job count) sample.
+func (d *drainEstimator) observe(now time.Time, done int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lastTime.IsZero() {
+		d.lastTime, d.lastDone = now, done
+		return
+	}
+	dt := now.Sub(d.lastTime).Seconds()
+	if dt <= 0 {
+		return
+	}
+	inst := float64(done-d.lastDone) / dt
+	d.rate = drainAlpha*inst + (1-drainAlpha)*d.rate
+	d.lastTime, d.lastDone = now, done
+}
+
+// retryAfter returns the advised wait in whole seconds.
+func (d *drainEstimator) retryAfter() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rate <= 0 {
+		return drainFallbackSeconds
+	}
+	secs := int(math.Ceil(1 / d.rate))
+	if secs < drainMinSeconds {
+		return drainMinSeconds
+	}
+	if secs > drainMaxSeconds {
+		return drainMaxSeconds
+	}
+	return secs
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// TestDrainEstimatorRetryAfter drives the estimator through sample
+// sequences and pins the advised Retry-After for each.
+func TestDrainEstimatorRetryAfter(t *testing.T) {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	type sample struct {
+		after time.Duration
+		done  int64
+	}
+	tests := []struct {
+		name    string
+		samples []sample
+		want    int
+	}{
+		{
+			name: "no samples falls back",
+			want: drainFallbackSeconds,
+		},
+		{
+			name:    "single sample has no window yet",
+			samples: []sample{{0, 10}},
+			want:    drainFallbackSeconds,
+		},
+		{
+			name: "steady one job per second converges near one second",
+			// EWMA after three 1/s windows: 0.875 jobs/s → ceil(1/0.875) = 2.
+			samples: []sample{{0, 0}, {time.Second, 1}, {2 * time.Second, 2}, {3 * time.Second, 3}},
+			want:    2,
+		},
+		{
+			name: "slow drain advises a proportionally long wait",
+			// Two 0.1/s windows: rate = 0.5*0.1 + 0.5*0.05 = 0.075 → ceil 14.
+			samples: []sample{{0, 0}, {10 * time.Second, 1}, {20 * time.Second, 2}},
+			want:    14,
+		},
+		{
+			name: "fast drain clamps up to the minimum",
+			// 100 jobs/s → 0.01s per slot, clamped to 1s.
+			samples: []sample{{0, 0}, {time.Second, 100}, {2 * time.Second, 200}},
+			want:    drainMinSeconds,
+		},
+		{
+			name: "glacial drain clamps down to the maximum",
+			// One job per hour → 3600s per slot, clamped to 600s.
+			samples: []sample{{0, 0}, {time.Hour, 1}, {2 * time.Hour, 2}},
+			want:    drainMaxSeconds,
+		},
+		{
+			name: "stalled service advises the fallback",
+			// No job has finished across any window, so the rate is
+			// exactly 0 and the estimator refuses to advise infinity.
+			samples: []sample{{0, 5}, {time.Second, 5}, {2 * time.Second, 5}},
+			want:    drainFallbackSeconds,
+		},
+		{
+			name: "zero-length window is ignored",
+			// The dt=0 sample (with its absurd count) must not perturb the
+			// rate: windows fold as 0.5 then 0.75 jobs/s → ceil(1/0.75) = 2.
+			samples: []sample{{0, 0}, {time.Second, 1}, {time.Second, 1000},
+				{2 * time.Second, 2}},
+			want: 2,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var d drainEstimator
+			for _, s := range tc.samples {
+				d.observe(t0.Add(s.after), s.done)
+			}
+			if got := d.retryAfter(); got != tc.want {
+				t.Errorf("retryAfter() = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSubmitBackpressureRetryAfter checks that a 429 carries a parseable
+// Retry-After header.
+func TestSubmitBackpressureRetryAfter(t *testing.T) {
+	// One worker, one queue slot; a long-running spec keeps the worker
+	// busy while we overfill.
+	srv, _ := newTestServer(t, jobs.Options{QueueDepth: 1, Workers: 1}, Options{Clock: fixedClock})
+	spec := testSpec()
+	// Long enough that the worker is still busy when the third submit
+	// lands (microseconds later), short enough that the cleanup drain
+	// in newTestServer doesn't stall the suite.
+	spec.Slots = 2_000_000
+	// Fill the worker and the queue.
+	for i := 0; i < 2; i++ {
+		status, body := doJSON(t, http.MethodPost, srv.URL+"/api/v1/jobs", spec)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, status, body)
+		}
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/api/v1/jobs", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < drainMinSeconds || secs > drainMaxSeconds {
+		t.Errorf("Retry-After %q not a sane whole-second count", ra)
+	}
+}

@@ -39,14 +39,37 @@ func (sc *scrapeState) rate(now time.Time, slots int64) float64 {
 	return rate
 }
 
+// terminalJobs counts jobs that have reached an end state — the signal
+// the drain estimator integrates into a completion rate.
+func terminalJobs(st jobs.Stats) int64 {
+	var n int64
+	for state, count := range st.States {
+		if state.Terminal() {
+			n += count
+		}
+	}
+	return n
+}
+
+// boolGauge renders a bool as a 0/1 Prometheus gauge value.
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // handleMetrics serves the operational counters in Prometheus text
 // exposition format: queue depth and capacity, worker occupancy,
 // per-state job counts, the cumulative terminal-slot counter (exact for
-// finished jobs plus live telemetry.Progress for running ones) and the
-// terminal-slots/s throughput over the last scrape window.
+// finished jobs plus live telemetry.Progress for running ones), the
+// terminal-slots/s throughput over the last scrape window, and the
+// durability counters (journal size, replay and resume totals).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.mgr.Stats()
-	rate := s.scrape.rate(s.opts.Clock(), st.TerminalSlots)
+	now := s.opts.Clock()
+	rate := s.scrape.rate(now, st.TerminalSlots)
+	s.drain.observe(now, terminalJobs(st))
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "# HELP pcnserve_queue_depth Jobs waiting in the bounded submission queue.\n")
@@ -72,4 +95,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP pcnserve_terminal_slots_per_second Simulation throughput over the last scrape window.\n")
 	fmt.Fprintf(w, "# TYPE pcnserve_terminal_slots_per_second gauge\n")
 	fmt.Fprintf(w, "pcnserve_terminal_slots_per_second %g\n", rate)
+	fmt.Fprintf(w, "# HELP pcnserve_recovering Whether journal replay is still in progress (1 during boot recovery).\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_recovering gauge\n")
+	fmt.Fprintf(w, "pcnserve_recovering %d\n", boolGauge(st.Recovering))
+	fmt.Fprintf(w, "# HELP pcnserve_journal_bytes Size of the durable job journal on disk.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_journal_bytes gauge\n")
+	fmt.Fprintf(w, "pcnserve_journal_bytes %d\n", st.JournalBytes)
+	fmt.Fprintf(w, "# HELP pcnserve_journal_records Records in the durable job journal.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_journal_records gauge\n")
+	fmt.Fprintf(w, "pcnserve_journal_records %d\n", st.JournalRecords)
+	fmt.Fprintf(w, "# HELP pcnserve_journal_replayed_records_total Journal records replayed during the last boot recovery.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_journal_replayed_records_total counter\n")
+	fmt.Fprintf(w, "pcnserve_journal_replayed_records_total %d\n", st.ReplayedRecords)
+	fmt.Fprintf(w, "# HELP pcnserve_jobs_recovered_total Interrupted or queued jobs re-enqueued by boot recovery.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_jobs_recovered_total counter\n")
+	fmt.Fprintf(w, "pcnserve_jobs_recovered_total %d\n", st.RecoveredJobs)
+	fmt.Fprintf(w, "# HELP pcnserve_jobs_resumed_total Runs resumed from a persisted checkpoint instead of restarting.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_jobs_resumed_total counter\n")
+	fmt.Fprintf(w, "pcnserve_jobs_resumed_total %d\n", st.ResumedJobs)
+	fmt.Fprintf(w, "# HELP pcnserve_checkpoints_written_total Checkpoint files persisted.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_checkpoints_written_total counter\n")
+	fmt.Fprintf(w, "pcnserve_checkpoints_written_total %d\n", st.CheckpointsWritten)
+	fmt.Fprintf(w, "# HELP pcnserve_checkpoint_fallbacks_total Resumes abandoned for a clean run (unreadable or rejected checkpoint).\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_checkpoint_fallbacks_total counter\n")
+	fmt.Fprintf(w, "pcnserve_checkpoint_fallbacks_total %d\n", st.CheckpointFallbacks)
+	fmt.Fprintf(w, "# HELP pcnserve_journal_errors_total Failed best-effort journal or checkpoint writes.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_journal_errors_total counter\n")
+	fmt.Fprintf(w, "pcnserve_journal_errors_total %d\n", st.JournalErrors)
 }

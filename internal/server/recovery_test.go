@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+// TestReadyzRecoveringPhase: a daemon whose manager has not finished
+// journal replay reports "recovering" (distinct from "draining") and
+// rejects submissions with 503, then flips to ok once recovery lands.
+func TestReadyzRecoveringPhase(t *testing.T) {
+	mgr := jobs.New(jobs.Options{QueueDepth: 4, Workers: 1, DataDir: t.TempDir()})
+	srv := httptest.NewServer(New(mgr, Options{Clock: fixedClock}))
+	defer srv.Close()
+	defer mgr.Shutdown(context.Background())
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if status, body := get("/readyz"); status != http.StatusServiceUnavailable || strings.TrimSpace(body) != "recovering" {
+		t.Fatalf("/readyz before Recover: %d %q, want 503 recovering", status, body)
+	}
+	if status, body := doJSON(t, http.MethodPost, srv.URL+"/api/v1/jobs", testSpec()); status != http.StatusServiceUnavailable {
+		t.Fatalf("submit while recovering: %d %s, want 503", status, body)
+	}
+	if status, body := get("/metrics"); status != http.StatusOK || !strings.Contains(body, "pcnserve_recovering 1") {
+		t.Fatalf("/metrics while recovering: %d, want pcnserve_recovering 1", status)
+	}
+
+	if err := mgr.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if status, body := get("/readyz"); status != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/readyz after Recover: %d %q, want 200 ok", status, body)
+	}
+	status, body := doJSON(t, http.MethodPost, srv.URL+"/api/v1/jobs", testSpec())
+	if status != http.StatusAccepted {
+		t.Fatalf("submit after Recover: %d %s", status, body)
+	}
+	if status, body := get("/metrics"); status != http.StatusOK ||
+		!strings.Contains(body, "pcnserve_recovering 0") ||
+		!strings.Contains(body, "pcnserve_journal_bytes") ||
+		!strings.Contains(body, "pcnserve_jobs_resumed_total") {
+		t.Fatalf("/metrics after Recover missing durability series: %d\n%s", status, body)
+	}
+}

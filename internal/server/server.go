@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +43,10 @@ type Server struct {
 
 	// scrape state for the terminal-slots/s gauge; see metrics.go.
 	scrape scrapeState
+
+	// drain estimates the job-completion rate to stamp Retry-After on
+	// backpressure responses; see drain.go.
+	drain drainEstimator
 }
 
 // New builds a Server over the manager. The server starts ready.
@@ -89,7 +94,7 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		status = http.StatusTooManyRequests
-	case errors.Is(err, jobs.ErrShuttingDown):
+	case errors.Is(err, jobs.ErrShuttingDown), errors.Is(err, jobs.ErrRecovering):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, jobs.ErrNotFound):
 		status = http.StatusNotFound
@@ -110,7 +115,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := s.mgr.Submit(spec)
 	if err != nil {
-		if errors.Is(err, jobs.ErrQueueFull) || errors.Is(err, jobs.ErrShuttingDown) {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			// Backpressure: tell the client when a queue slot is likely
+			// to free up, from the observed job-completion rate.
+			s.drain.observe(s.opts.Clock(), terminalJobs(s.mgr.Stats()))
+			w.Header().Set("Retry-After", strconv.Itoa(s.drain.retryAfter()))
+			writeError(w, err)
+			return
+		}
+		if errors.Is(err, jobs.ErrShuttingDown) || errors.Is(err, jobs.ErrRecovering) {
 			writeError(w, err)
 			return
 		}
@@ -167,6 +180,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// Journal replay runs before the manager accepts work: a freshly
+	// restarted daemon serves traffic (health, metrics, job reads) but
+	// reports itself unready, as "recovering" rather than "draining", so
+	// an operator can tell a booting instance from a stopping one.
+	if s.mgr.Recovering() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "recovering")
+		return
+	}
 	if !s.ready.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")

@@ -143,28 +143,57 @@ func (c *colsState) flushThreshold(i int, m *Metrics) {
 // final drain of late timers); within a batch, terminals advance in
 // cohorts, and within a terminal, event-free stretches collapse into
 // EventGap draws on register-resident state.
-func runShardCols(ctx context.Context, cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
-	n, terms, rngs, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
+func runShardCols(ctx context.Context, r shardRun) (shardResult, error) {
+	cfg, slots := r.cfg, r.slots
+	n, terms, rngs, err := newShardNetwork(cfg, slots, r.lo, r.hi, r.startD, r.loc)
 	if err != nil {
 		return shardResult{}, err
 	}
-	_, isHex := loc.(hexLocator)
-	c := newColsState(terms, rngs, startD)
+	_, isHex := r.loc.(hexLocator)
+	// Resume restores the struct mirrors (and RNG columns) first, so
+	// newColsState seeds the hot columns from the checkpointed state; the
+	// scheduler/preSweep/threshold-accounting columns are then overlaid
+	// from the checkpoint directly.
+	start := int64(0)
+	if r.resume != nil {
+		if err := restoreShardCore(n, terms, rngs, r.resume); err != nil {
+			return shardResult{}, err
+		}
+		start = r.resume.Slot
+	}
+	c := newColsState(terms, rngs, r.startD)
 
 	every := cfg.Telemetry.SnapshotEvery
 	prog := cfg.Telemetry.Progress
 	dyn := cfg.Dynamic
 	done := ctx.Done()
-	width := int64(hi - lo)
+	width := int64(r.hi - r.lo)
 	var frames []telemetry.ShardFrame
 	// subEvents counts dispatched sub-slot events across all terminals,
 	// same convention as the fast path.
 	var subEvents uint64
+	if r.resume != nil {
+		frames = restoreFrames(r.resume.Frames)
+		subEvents = r.resume.SubEvents
+		bind := ackBind(n, terms)
+		for i := range terms {
+			sc := &r.resume.Scheds[i]
+			c.sched[i].Restore(des.Time(sc.Now), sc.Seq, sc.Ran, sc.Pending, bind)
+			c.preSweep[i] = r.resume.PreSweep[i]
+			c.curD[i] = int32(r.resume.CurD[i])
+			c.runLen[i] = r.resume.RunLen[i]
+		}
+	}
 
-	for cur := int64(0); cur < slots; {
+	for cur := start; cur < slots; {
 		next := slots
 		if every > 0 {
 			if b := (cur/every + 1) * every; b < next {
+				next = b
+			}
+		}
+		if r.every > 0 {
+			if b := (cur/r.every + 1) * r.every; b < next {
 				next = b
 			}
 		}
@@ -331,13 +360,34 @@ func runShardCols(ctx context.Context, cfg Config, slots int64, shard, lo, hi, s
 				// floor while completed work and events advance, so
 				// pollers watch a run move through a deep batch instead
 				// of seeing it jump at the boundary.
-				prog.Set(shard, cur, cur*width+int64(endT)*(next-cur), uint64(cur)+subEvents)
+				prog.Set(r.shard, cur, cur*width+int64(endT)*(next-cur), uint64(cur)+subEvents)
 			}
 		}
 		cur = next
-		prog.Set(shard, cur, cur*width, uint64(cur)+subEvents)
-		if every > 0 {
+		prog.Set(r.shard, cur, cur*width, uint64(cur)+subEvents)
+		if every > 0 && (cur%every == 0 || last) {
 			frames = append(frames, n.snapshot(cur, subEvents))
+		}
+		if r.every > 0 && cur%r.every == 0 && !last {
+			// The struct mirrors may be stale (columns are authoritative
+			// between cold calls); refresh them so the capture sees the
+			// current positions, centers and thresholds.
+			for i := range terms {
+				c.syncTerminal(&terms[i], i)
+			}
+			sc := captureShardCore(n, terms, rngs, cur, r.lo, r.hi, frames)
+			sc.SubEvents = subEvents
+			sc.Scheds = make([]SchedCheckpoint, len(terms))
+			sc.PreSweep = make([]uint64, len(terms))
+			sc.CurD = make([]int64, len(terms))
+			sc.RunLen = make([]int64, len(terms))
+			for i := range terms {
+				sc.Scheds[i] = schedCheckpoint(&c.sched[i])
+				sc.PreSweep[i] = c.preSweep[i]
+				sc.CurD[i] = int64(c.curD[i])
+				sc.RunLen[i] = c.runLen[i]
+			}
+			r.emit(sc)
 		}
 	}
 

@@ -162,12 +162,22 @@ func (n *network) fastPage(t *terminal, base des.Time) uint64 {
 	}
 }
 
-// runShardFast simulates terminals [lo, hi) with the slot-batched fast
-// path. It produces bit-identical shardResults to runShard for every
-// configuration: same Metrics, same telemetry frame series, same
+// runShardFast simulates terminals [r.lo, r.hi) with the slot-batched
+// fast path. It produces bit-identical shardResults to runShard for
+// every configuration: same Metrics, same telemetry frame series, same
 // histograms. Slots are processed in batches bounded by the telemetry
 // cadence so each snapshot observes exactly the state the reference
 // engine would capture at that boundary.
+//
+// Checkpoint boundaries also bound the batches. Subdividing batches is
+// harmless — cross-terminal state is commutative (contract note 2) and
+// each terminal's per-slot work is identical wherever the batch edges
+// fall — so inserting checkpoint boundaries cannot change results. A
+// checkpoint captures each terminal's scheduler verbatim (clock, stamp
+// counter, pending retransmission timers by tag) plus the preSweep mark
+// and the batched threshold-usage accumulator, exactly the state the
+// engine itself carries across a batch edge; resume reinstates it and
+// re-enters the loop at the boundary.
 //
 // A cancellable ctx is polled between per-terminal slot chunks, with
 // pure stretches additionally capped at ctxCheckSlots slots, so the
@@ -176,15 +186,16 @@ func (n *network) fastPage(t *terminal, base des.Time) uint64 {
 // slots). A background context takes the check-free path and the
 // stretch cap never engages, keeping the hot loop byte-for-byte as fast
 // as before.
-func runShardFast(ctx context.Context, cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
-	n, terms, _, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
+func runShardFast(ctx context.Context, r shardRun) (shardResult, error) {
+	cfg, slots := r.cfg, r.slots
+	n, terms, rngs, err := newShardNetwork(cfg, slots, r.lo, r.hi, r.startD, r.loc)
 	if err != nil {
 		return shardResult{}, err
 	}
 
 	fts := make([]fastTerm, len(terms))
 	for i := range fts {
-		fts[i].curD = startD
+		fts[i].curD = r.startD
 	}
 
 	every := cfg.Telemetry.SnapshotEvery
@@ -196,11 +207,33 @@ func runShardFast(ctx context.Context, cfg Config, slots int64, shard, lo, hi, s
 	// the fast path schedules no sweep events, so this is directly the
 	// reference engine's Processed() minus its slot sweeps.
 	var subEvents uint64
+	start := int64(0)
+	if r.resume != nil {
+		if err := restoreShardCore(n, terms, rngs, r.resume); err != nil {
+			return shardResult{}, err
+		}
+		frames = restoreFrames(r.resume.Frames)
+		subEvents = r.resume.SubEvents
+		start = r.resume.Slot
+		bind := ackBind(n, terms)
+		for i := range fts {
+			sc := &r.resume.Scheds[i]
+			fts[i].sched.Restore(des.Time(sc.Now), sc.Seq, sc.Ran, sc.Pending, bind)
+			fts[i].preSweep = r.resume.PreSweep[i]
+			fts[i].curD = int(r.resume.CurD[i])
+			fts[i].runLen = r.resume.RunLen[i]
+		}
+	}
 
-	for cur := int64(0); cur < slots; {
+	for cur := start; cur < slots; {
 		next := slots
 		if every > 0 {
 			if b := (cur/every + 1) * every; b < next {
+				next = b
+			}
+		}
+		if r.every > 0 {
+			if b := (cur/r.every + 1) * r.every; b < next {
 				next = b
 			}
 		}
@@ -319,13 +352,28 @@ func runShardFast(ctx context.Context, cfg Config, slots int64, shard, lo, hi, s
 			}
 		}
 		cur = next
-		prog.Set(shard, cur, cur*int64(len(terms)), uint64(cur)+subEvents)
-		if every > 0 {
-			// Interior boundaries land on the telemetry cadence; the
-			// final frame always lands on the run boundary, covering the
-			// whole run including the drained late timers — the same
-			// series the reference engine captures.
+		prog.Set(r.shard, cur, cur*int64(len(terms)), uint64(cur)+subEvents)
+		if every > 0 && (cur%every == 0 || last) {
+			// Telemetry-cadence boundaries and the final run boundary get
+			// frames (checkpoint-only boundaries do not — the reference
+			// engine captures no frame there); the final frame covers the
+			// whole run including the drained late timers.
 			frames = append(frames, n.snapshot(cur, subEvents))
+		}
+		if r.every > 0 && cur%r.every == 0 && !last {
+			sc := captureShardCore(n, terms, rngs, cur, r.lo, r.hi, frames)
+			sc.SubEvents = subEvents
+			sc.Scheds = make([]SchedCheckpoint, len(fts))
+			sc.PreSweep = make([]uint64, len(fts))
+			sc.CurD = make([]int64, len(fts))
+			sc.RunLen = make([]int64, len(fts))
+			for i := range fts {
+				sc.Scheds[i] = schedCheckpoint(&fts[i].sched)
+				sc.PreSweep[i] = fts[i].preSweep
+				sc.CurD[i] = int64(fts[i].curD)
+				sc.RunLen[i] = fts[i].runLen
+			}
+			r.emit(sc)
 		}
 	}
 

@@ -195,8 +195,14 @@ func (n *network) transmitUpdate(t *terminal) {
 		n.markDesynced(t)
 	}
 	if n.cfg.Faults.UpdateRetries > 0 && t.ackedSeq < u.Seq {
+		// The retransmission timer is the only event species that can be
+		// pending when a checkpoint is taken at a slot boundary (paging
+		// chains complete within the arrival slot — validate enforces it),
+		// so it carries a tag from which Resume rebuilds the closure:
+		// shard-local terminal index and the update's sequence number.
 		seq := u.Seq
-		n.sched.After(n.cfg.Faults.ackBackoff(t.retries), func() { n.ackTimeout(t, seq) })
+		n.sched.AfterTag(n.cfg.Faults.ackBackoff(t.retries), ackTag(t.id-n.first, seq),
+			func() { n.ackTimeout(t, seq) })
 	}
 }
 

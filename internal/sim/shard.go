@@ -58,6 +58,33 @@ const ctxCheckSlots = 1 << 16
 // normally is untouched by the context machinery: results remain
 // bit-identical to RunSharded for every shard count.
 func RunShardedCtx(ctx context.Context, cfg Config, slots int64, shards int) (*Metrics, error) {
+	return RunShardedOpts(ctx, cfg, slots, shards, RunOpts{})
+}
+
+// RunOpts carries the durability extensions to a sharded run: periodic
+// checkpoint capture and resumption from a prior checkpoint. The zero
+// value reproduces RunShardedCtx exactly.
+type RunOpts struct {
+	// Resume, when non-nil, continues the run recorded in the checkpoint
+	// instead of starting from slot 0. The offered configuration must
+	// match the checkpoint's run shape (slots, seed, shard count, start
+	// threshold, engine class); the final Metrics are then bit-identical
+	// to an uninterrupted run.
+	Resume *Checkpoint
+	// CheckpointEvery > 0 captures a consistent whole-run checkpoint at
+	// every interior multiple of that many slots and hands it to
+	// CheckpointSink. The sink is called on a shard goroutine (the last
+	// shard to reach the boundary), in increasing slot order; it must not
+	// retain the pointer past the call unless it finishes with it.
+	CheckpointEvery int64
+	CheckpointSink  func(*Checkpoint)
+}
+
+// RunShardedOpts is RunShardedCtx with checkpoint capture and resume.
+// Checkpointing does not perturb results: a run observed through its
+// sink checkpoints, or resumed from any of them, still produces
+// bit-identical Metrics for every shard count and engine.
+func RunShardedOpts(ctx context.Context, cfg Config, slots int64, shards int, opts RunOpts) (*Metrics, error) {
 	cfg = cfg.withDefaults()
 	if err := validate(cfg, slots); err != nil {
 		return nil, err
@@ -66,7 +93,13 @@ func RunShardedCtx(ctx context.Context, cfg Config, slots int64, shards int) (*M
 		return nil, fmt.Errorf("sim: negative shard count %d", shards)
 	}
 	if shards == 0 {
-		shards = runtime.GOMAXPROCS(0)
+		if opts.Resume != nil {
+			// A checkpoint is only valid for its own partition; an
+			// unspecified shard count adopts it rather than guessing.
+			shards = opts.Resume.Shards
+		} else {
+			shards = runtime.GOMAXPROCS(0)
+		}
 	}
 	if shards > cfg.Terminals {
 		shards = cfg.Terminals
@@ -79,6 +112,17 @@ func RunShardedCtx(ctx context.Context, cfg Config, slots int64, shards int) (*M
 	if cfg.Core.Model == chain.OneDim {
 		loc = lineLocator{}
 	}
+	if opts.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("sim: negative checkpoint cadence %d", opts.CheckpointEvery)
+	}
+	if opts.CheckpointEvery > 0 && opts.CheckpointSink == nil {
+		return nil, errors.New("sim: checkpoint cadence without a sink")
+	}
+	if opts.Resume != nil {
+		if err := validateResume(opts.Resume, cfg, slots, shards, startD); err != nil {
+			return nil, err
+		}
+	}
 
 	engine := runShard
 	switch cfg.Engine {
@@ -87,11 +131,31 @@ func RunShardedCtx(ctx context.Context, cfg Config, slots int64, shards int) (*M
 	case EngineCols:
 		engine = runShardCols
 	}
+	var agg *ckptAggregator
+	if opts.CheckpointEvery > 0 {
+		shape := Checkpoint{Slots: slots, Shards: shards, StartD: startD,
+			Seed: cfg.Seed, Engine: cfg.Engine}
+		agg = newCkptAggregator(shape, shards, opts.CheckpointSink)
+	}
 	cfg.Telemetry.Progress.Init(shards)
 	parts, err := sweep.MapCtx(ctx, shards, 0, func(ctx context.Context, s int) (shardResult, error) {
-		lo := s * cfg.Terminals / shards
-		hi := (s + 1) * cfg.Terminals / shards
-		return engine(ctx, cfg, slots, s, lo, hi, startD, loc)
+		r := shardRun{
+			cfg:    cfg,
+			slots:  slots,
+			shard:  s,
+			lo:     s * cfg.Terminals / shards,
+			hi:     (s + 1) * cfg.Terminals / shards,
+			startD: startD,
+			loc:    loc,
+			every:  opts.CheckpointEvery,
+		}
+		if opts.Resume != nil {
+			r.resume = &opts.Resume.Shard[s]
+		}
+		if agg != nil {
+			r.emit = func(sc ShardCheckpoint) { agg.add(s, sc) }
+		}
+		return engine(ctx, r)
 	})
 	if err != nil {
 		return nil, err
@@ -120,6 +184,73 @@ func RunShardedCtx(ctx context.Context, cfg Config, slots int64, shards int) (*M
 type shardResult struct {
 	metrics *Metrics
 	frames  []telemetry.ShardFrame
+}
+
+// shardRun is everything one engine invocation needs: the run shape, the
+// shard's slice of the population, and the checkpoint plumbing (resume
+// source and capture cadence/sink), both inactive in a plain run.
+type shardRun struct {
+	cfg    Config
+	slots  int64
+	shard  int
+	lo, hi int
+	startD int
+	loc    locator
+	// resume, when non-nil, is this shard's slice of the checkpoint the
+	// run continues from (already validated against the run shape).
+	resume *ShardCheckpoint
+	// every > 0 asks the engine to capture a shard checkpoint at every
+	// interior multiple of every slots and hand it to emit.
+	every int64
+	emit  func(ShardCheckpoint)
+}
+
+// validateResume rejects checkpoints that do not describe the offered
+// run: resuming under a different shape would not merely be lossy, it
+// would produce a report matching no configuration at all.
+func validateResume(cp *Checkpoint, cfg Config, slots int64, shards, startD int) error {
+	if cp.Slots != slots {
+		return fmt.Errorf("sim: checkpoint is for %d slots, run wants %d", cp.Slots, slots)
+	}
+	if cp.Seed != cfg.Seed {
+		return fmt.Errorf("sim: checkpoint seed %d does not match configured seed %d", cp.Seed, cfg.Seed)
+	}
+	if cp.StartD != startD {
+		return fmt.Errorf("sim: checkpoint start threshold %d does not match run's %d", cp.StartD, startD)
+	}
+	if engineClass(cp.Engine) != engineClass(cfg.Engine) {
+		return fmt.Errorf("sim: %s-engine checkpoint cannot resume on engine %s",
+			engineClass(cp.Engine), cfg.Engine)
+	}
+	if cp.Shards != shards || len(cp.Shard) != cp.Shards {
+		return fmt.Errorf("sim: checkpoint partitions %d terminals into %d shards (%d recorded), run wants %d",
+			cfg.Terminals, cp.Shards, len(cp.Shard), shards)
+	}
+	if cp.Slot <= 0 || cp.Slot >= slots {
+		return fmt.Errorf("sim: checkpoint boundary %d outside (0, %d)", cp.Slot, slots)
+	}
+	for s := range cp.Shard {
+		sc := &cp.Shard[s]
+		lo := s * cfg.Terminals / shards
+		hi := (s + 1) * cfg.Terminals / shards
+		if sc.Lo != lo || sc.Hi != hi || sc.Slot != cp.Slot {
+			return fmt.Errorf("sim: checkpoint shard %d covers [%d,%d) at slot %d, run wants [%d,%d) at %d",
+				s, sc.Lo, sc.Hi, sc.Slot, lo, hi, cp.Slot)
+		}
+		width := hi - lo
+		if len(sc.Terms) != width || len(sc.HLR) != width || len(sc.Metrics.PerTerminal) != width {
+			return fmt.Errorf("sim: checkpoint shard %d holds %d terminals, run wants %d", s, len(sc.Terms), width)
+		}
+		if engineClass(cp.Engine) == "des" {
+			if sc.DES == nil {
+				return fmt.Errorf("sim: checkpoint shard %d missing reference-engine scheduler state", s)
+			}
+		} else if len(sc.Scheds) != width || len(sc.PreSweep) != width ||
+			len(sc.CurD) != width || len(sc.RunLen) != width {
+			return fmt.Errorf("sim: checkpoint shard %d missing batch-engine scheduler state", s)
+		}
+	}
+	return nil
 }
 
 // validate rejects unusable configurations; cfg must already carry its
@@ -240,17 +371,29 @@ func finishShard(n *network, terms []terminal, slots int64) *Metrics {
 	return m
 }
 
-// runShard simulates terminals [lo, hi) of the global population on one
-// discrete-event engine — the reference EngineDES implementation the fast
-// path is differentially tested against. Its Metrics carry only this
-// shard's share: Terminals is hi−lo, PerTerminal holds records for ids
-// lo..hi−1 and Events counts sub-slot events only (the caller adds the
-// slot sweeps once after merging). shard is the shard's index, used only
-// for telemetry (progress reporting). Cancelling ctx stops the run at
-// the next slot boundary (in-flight sub-slot events still drain) and
-// returns ctx.Err().
-func runShard(ctx context.Context, cfg Config, slots int64, shard, lo, hi, startD int, loc locator) (shardResult, error) {
-	n, terms, _, err := newShardNetwork(cfg, slots, lo, hi, startD, loc)
+// runShard simulates terminals [r.lo, r.hi) of the global population on
+// one discrete-event engine — the reference EngineDES implementation the
+// fast path is differentially tested against. Its Metrics carry only
+// this shard's share: Terminals is hi−lo, PerTerminal holds records for
+// ids lo..hi−1 and Events counts sub-slot events only (the caller adds
+// the slot sweeps once after merging). r.shard is the shard's index,
+// used only for telemetry (progress reporting). Cancelling ctx stops the
+// run at the next slot boundary (in-flight sub-slot events still drain)
+// and returns ctx.Err().
+//
+// Checkpoints are captured at the top of a boundary slot's sweep event —
+// after the telemetry frame, before the sweeps — so boundary B means "B
+// slots completed" and the checkpoint embeds the boundary frame. The
+// scheduler state is stored as if the boundary sweep event had not yet
+// been dispatched (Ran excludes it, SlotEventSeq preserves its insertion
+// stamp): resume re-creates that event with its original (time, stamp)
+// key via InsertAt, so it keeps losing exactly the ties it lost against
+// any retransmission timer due on the boundary, and the dispatch itself
+// restores the event count. Everything downstream of the boundary then
+// replays identically to the uninterrupted run.
+func runShard(ctx context.Context, r shardRun) (shardResult, error) {
+	cfg, slots := r.cfg, r.slots
+	n, terms, rngs, err := newShardNetwork(cfg, slots, r.lo, r.hi, r.startD, r.loc)
 	if err != nil {
 		return shardResult{}, err
 	}
@@ -280,7 +423,12 @@ func runShard(ctx context.Context, cfg Config, slots int64, shard, lo, hi, start
 	done := ctx.Done()
 	cancelled := false
 	var slot func()
+	start := int64(0)
 	cur := int64(0)
+	// slotStamp is the insertion stamp of the currently-running slot
+	// event, recorded when it was scheduled (checkpoints persist it as
+	// SlotEventSeq).
+	var slotStamp uint64
 	slot = func() {
 		if done != nil {
 			select {
@@ -290,9 +438,20 @@ func runShard(ctx context.Context, cfg Config, slots int64, shard, lo, hi, start
 			default:
 			}
 		}
-		if every > 0 && cur > 0 && cur%every == 0 {
+		if every > 0 && cur > start && cur%every == 0 {
 			// The current slot event is already counted in Processed.
+			// A resumed run skips the boundary it resumed at: that frame
+			// was captured before the checkpoint and restored with it.
 			capture(cur, uint64(cur)+1)
+		}
+		if r.every > 0 && cur > start && cur%r.every == 0 {
+			sc := captureShardCore(n, terms, rngs, cur, r.lo, r.hi, frames)
+			now, seq, ran, pending := sched.Checkpoint()
+			sc.DES = &DESCheckpoint{
+				Sched:        SchedCheckpoint{Now: uint64(now), Seq: seq, Ran: ran - 1, Pending: pending},
+				SlotEventSeq: slotStamp,
+			}
+			r.emit(sc)
 		}
 		for i := range terms {
 			t := &terms[i]
@@ -305,12 +464,28 @@ func runShard(ctx context.Context, cfg Config, slots int64, shard, lo, hi, start
 			}
 		}
 		cur++
-		prog.Set(shard, cur, cur*int64(len(terms)), sched.Processed())
+		prog.Set(r.shard, cur, cur*int64(len(terms)), sched.Processed())
 		if cur < slots {
+			slotStamp = sched.SeqMark()
 			sched.After(SlotTicks, slot)
 		}
 	}
-	sched.At(0, slot)
+	if r.resume != nil {
+		if err := restoreShardCore(n, terms, rngs, r.resume); err != nil {
+			return shardResult{}, err
+		}
+		frames = restoreFrames(r.resume.Frames)
+		start = r.resume.Slot
+		cur = start
+		ds := r.resume.DES
+		sched.Restore(des.Time(ds.Sched.Now), ds.Sched.Seq, ds.Sched.Ran, ds.Sched.Pending,
+			ackBind(n, terms))
+		slotStamp = ds.SlotEventSeq
+		sched.InsertAt(des.Time(start)*SlotTicks, slotStamp, slot)
+	} else {
+		slotStamp = sched.SeqMark()
+		sched.At(0, slot)
+	}
 	sched.Drain()
 	if cancelled {
 		return shardResult{}, ctx.Err()
@@ -320,7 +495,7 @@ func runShard(ctx context.Context, cfg Config, slots int64, shard, lo, hi, start
 		// whole run including any events drained after the last slot.
 		capture(slots, uint64(slots))
 	}
-	prog.Set(shard, slots, slots*int64(len(terms)), sched.Processed())
+	prog.Set(r.shard, slots, slots*int64(len(terms)), sched.Processed())
 
 	n.metrics.Events = sched.Processed() - uint64(slots)
 	return shardResult{metrics: finishShard(n, terms, slots), frames: frames}, nil

@@ -124,6 +124,14 @@ func SubStream(seed, id uint64) *RNG {
 	return r
 }
 
+// State exports the generator's positional state — the four xoshiro256**
+// words — for checkpointing. SetState(State()) reproduces the stream
+// bit-for-bit from the captured position.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState reinstates a positional state captured by State.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
 // SeedSubStream reseeds r in place to stream id of the family rooted at
 // seed, bit-identical to SubStream(seed, id). Engines that keep their
 // per-terminal generators in one flat slice seed the elements with this

@@ -79,6 +79,28 @@ func (a *Accumulator) String() string {
 	return fmt.Sprintf("%.6g ± %.2g (n=%d)", a.Mean(), a.CI(0.95), a.n)
 }
 
+// AccumulatorState is the exported, serializable form of an Accumulator's
+// Welford state. All fields are plain numbers, so any exact encoding
+// (gob, binary) round-trips the accumulator bit-for-bit — the property
+// simulation checkpoints rely on: an accumulator restored from state and
+// then fed the remaining observations is indistinguishable from one that
+// saw the whole stream.
+type AccumulatorState struct {
+	N        int64
+	Mean, M2 float64
+	Min, Max float64
+}
+
+// State exports the accumulator's exact internal state.
+func (a *Accumulator) State() AccumulatorState {
+	return AccumulatorState{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max}
+}
+
+// SetState reinstates a state captured by State.
+func (a *Accumulator) SetState(st AccumulatorState) {
+	a.n, a.mean, a.m2, a.min, a.max = st.N, st.Mean, st.M2, st.Min, st.Max
+}
+
 // Merge folds another accumulator into a (parallel reduction).
 func (a *Accumulator) Merge(b *Accumulator) {
 	if b.n == 0 {

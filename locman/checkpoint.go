@@ -1,0 +1,53 @@
+package locman
+
+import (
+	"context"
+
+	"repro/internal/sim"
+)
+
+// Checkpoint is a serializable snapshot of a network simulation at a
+// slot boundary, sufficient to resume the run with bit-identical final
+// results; see sim.Checkpoint for the determinism contract.
+type Checkpoint = sim.Checkpoint
+
+// EncodeCheckpoint serializes a checkpoint to a self-checking byte
+// format (magic header, gob payload, CRC32 trailer).
+func EncodeCheckpoint(cp *Checkpoint) ([]byte, error) { return sim.EncodeCheckpoint(cp) }
+
+// DecodeCheckpoint parses bytes produced by EncodeCheckpoint, rejecting
+// unknown formats and corrupted payloads.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) { return sim.DecodeCheckpoint(data) }
+
+// SimulateNetworkCheckpointed is SimulateNetworkShardedCtx with periodic
+// checkpoint capture: every multiple of every slots (interior boundaries
+// only), a consistent whole-run Checkpoint is handed to sink, in
+// increasing slot order, from a shard goroutine. Checkpointing never
+// perturbs the simulation: the returned metrics are bit-identical to an
+// unobserved run.
+func SimulateNetworkCheckpointed(ctx context.Context, cfg NetworkConfig, slots int64, shards int, every int64, sink func(*Checkpoint)) (*NetworkMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return sim.RunShardedOpts(ctx, cfg.simConfig(), slots, shards, sim.RunOpts{
+		CheckpointEvery: every,
+		CheckpointSink:  sink,
+	})
+}
+
+// ResumeNetworkCheckpointed continues a run from cp instead of slot 0,
+// optionally emitting further checkpoints (every > 0). The configuration
+// must describe the same run the checkpoint was taken from (slots, seed,
+// shard count, starting threshold, engine class); the final metrics —
+// and hence the Report built from them — are then byte-identical to an
+// uninterrupted run. shards 0 adopts the checkpoint's shard count.
+func ResumeNetworkCheckpointed(ctx context.Context, cfg NetworkConfig, slots int64, shards int, cp *Checkpoint, every int64, sink func(*Checkpoint)) (*NetworkMetrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return sim.RunShardedOpts(ctx, cfg.simConfig(), slots, shards, sim.RunOpts{
+		Resume:          cp,
+		CheckpointEvery: every,
+		CheckpointSink:  sink,
+	})
+}
