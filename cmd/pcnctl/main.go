@@ -2,6 +2,8 @@
 //
 //	pcnctl -addr http://localhost:8080 submit -q 0.05 -c 0.01 -U 100 -V 10 \
 //	       -m 3 -terminals 50 -slots 200000 -wait > report.json
+//	pcnctl submit -scenario rush-hour-hotspot -terminals 100 -slots 50000 -wait
+//	pcnctl submit -scheme movement -scheme-param 6 -hetero -wait
 //	pcnctl list
 //	pcnctl get j000001
 //	pcnctl watch j000001
@@ -148,6 +150,15 @@ func (c *client) submit(args []string, stdout, stderr io.Writer) error {
 	slots := fs.Int64("slots", 200_000, "time slots to simulate")
 	threshold := fs.Int("d", -1, "static threshold (-1 = network-optimized)")
 	dynamic := fs.Bool("dynamic", false, "per-terminal online estimation and re-optimization")
+	hetero := fs.Bool("hetero", false,
+		"heterogeneous population (per-terminal q varies ±50%, like pcnsim -hetero)")
+	scheme := fs.String("scheme", "",
+		"location-update scheme: "+strings.Join(locman.UpdateSchemeNames(), ", ")+" (default distance)")
+	schemeParam := fs.Int64("scheme-param", 0,
+		"update-scheme parameter: timer period or movement count in slots")
+	scenario := fs.String("scenario", "",
+		"run a registered scenario: "+strings.Join(locman.ScenarioNames(), ", ")+
+			" (fixes the model; run-shape flags still apply)")
 	reoptEvery := fs.Int64("reoptimize-every", 0,
 		"dynamic re-optimization period in slots (0 = engine default)")
 	partition := fs.String("partition", "",
@@ -181,46 +192,78 @@ func (c *client) submit(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("submit: unexpected operand %q", fs.Arg(0))
 	}
 
-	spec := jobs.Spec{
-		Model:           *model,
-		MoveProb:        *q,
-		CallProb:        *cc,
-		UpdateCost:      *u,
-		PollCost:        *v,
-		MaxDelay:        *m,
-		Partition:       *partition,
-		Terminals:       *terminals,
-		Slots:           *slots,
-		Shards:          *shards,
-		Dynamic:         *dynamic,
-		ReoptimizeEvery: *reoptEvery,
-		SnapshotEvery:   *telemetryEvery,
-		Seed:            *seed,
-		Engine:          *engine,
-		TimeoutSec:      *timeoutSec,
+	var spec jobs.Spec
+	if *scenario != "" {
+		// The scenario fixes the model half of the Spec; a model flag set
+		// alongside it would be rejected by the service anyway, but the
+		// flag-set defaults (q=0.05, U=100, ...) are not zero, so the
+		// model fields must be left unset rather than copied — and an
+		// explicitly set model flag is reported here, in flag spelling.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		var conflicts []string
+		for _, name := range []string{
+			"model", "q", "c", "U", "V", "m", "partition", "dynamic",
+			"reoptimize-every", "hetero", "scheme", "scheme-param", "loss",
+			"poll-loss", "reply-loss", "update-retries", "ack-timeout",
+			"page-retries", "outage",
+		} {
+			if set[name] {
+				conflicts = append(conflicts, "-"+name)
+			}
+		}
+		if len(conflicts) > 0 {
+			return fmt.Errorf("-scenario %s fixes the model; drop the conflicting flag(s): %s",
+				*scenario, strings.Join(conflicts, ", "))
+		}
+		spec = jobs.Spec{Scenario: *scenario}
+	} else {
+		spec = jobs.Spec{
+			Model:           *model,
+			MoveProb:        *q,
+			CallProb:        *cc,
+			UpdateCost:      *u,
+			PollCost:        *v,
+			MaxDelay:        *m,
+			Partition:       *partition,
+			Scheme:          *scheme,
+			SchemeParam:     *schemeParam,
+			Dynamic:         *dynamic,
+			ReoptimizeEvery: *reoptEvery,
+		}
+		if *hetero {
+			spec.Fleet = jobs.HeteroFleet(*q, *cc)
+		}
+		faults := jobs.FaultSpec{
+			UpdateLoss:    *loss,
+			PollLoss:      *pollLoss,
+			ReplyLoss:     *replyLoss,
+			UpdateRetries: *updateRetries,
+			AckTimeout:    *ackTimeout,
+			PageRetries:   *pageRetries,
+		}
+		if *outages != "" {
+			windows, err := parseOutages(*outages)
+			if err != nil {
+				return err
+			}
+			faults.Outages = windows
+		}
+		if faults.UpdateLoss != 0 || faults.PollLoss != 0 || faults.ReplyLoss != 0 ||
+			faults.UpdateRetries != 0 || faults.AckTimeout != 0 || faults.PageRetries != 0 ||
+			len(faults.Outages) > 0 {
+			spec.Faults = &faults
+		}
 	}
+	spec.Terminals = *terminals
+	spec.Slots = *slots
+	spec.Shards = *shards
+	spec.SnapshotEvery = *telemetryEvery
+	spec.Seed = *seed
+	spec.Engine = *engine
+	spec.TimeoutSec = *timeoutSec
 	if *threshold >= 0 {
 		spec.Threshold = threshold
-	}
-	faults := jobs.FaultSpec{
-		UpdateLoss:    *loss,
-		PollLoss:      *pollLoss,
-		ReplyLoss:     *replyLoss,
-		UpdateRetries: *updateRetries,
-		AckTimeout:    *ackTimeout,
-		PageRetries:   *pageRetries,
-	}
-	if *outages != "" {
-		windows, err := parseOutages(*outages)
-		if err != nil {
-			return err
-		}
-		faults.Outages = windows
-	}
-	if faults.UpdateLoss != 0 || faults.PollLoss != 0 || faults.ReplyLoss != 0 ||
-		faults.UpdateRetries != 0 || faults.AckTimeout != 0 || faults.PageRetries != 0 ||
-		len(faults.Outages) > 0 {
-		spec.Faults = &faults
 	}
 
 	body, err := json.Marshal(spec)

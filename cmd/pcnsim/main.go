@@ -5,10 +5,21 @@
 //	pcnsim -model 2d -q 0.05 -c 0.01 -U 100 -V 10 -m 3 -terminals 50 -slots 200000
 //	pcnsim -dynamic -hetero   # per-terminal online estimation demo
 //	pcnsim -terminals 100000 -slots 1000 -shards 8   # sharded parallel engine
+//	pcnsim -scheme timer -scheme-param 500      # timer-based updates
+//	pcnsim -scheme movement -scheme-param 6     # movement-based updates
+//	pcnsim -scenario rush-hour-hotspot          # registered named scenario
+//	pcnsim -scenarios                           # list the registry
 //	pcnsim -loss 0.2 -poll-loss 0.1 -reply-loss 0.1 -update-retries 3 \
 //	       -outage 50000:60000   # fault injection + recovery subsystem
 //	pcnsim -telemetry-every 10000 -json   # machine-readable run report
 //	pcnsim -pprof localhost:6060          # live progress + profiling
+//
+// A -scenario fixes the model half of the run (grid, probabilities,
+// costs, delay bound, update scheme, fleet, faults) from the shared
+// locman registry — the same names pcnctl and the job service resolve —
+// while the run shape (-terminals, -slots, -seed, -shards, -engine,
+// -telemetry-every, -d) stays with the flags; model flags set alongside
+// it are rejected rather than silently overridden.
 //
 // The population is partitioned across -shards parallel simulation engines
 // (default GOMAXPROCS); metrics are bit-identical for any shard count.
@@ -126,6 +137,25 @@ func printReport(w io.Writer, r *locman.Report) {
 	}
 }
 
+// scenarioFlagConflicts lists (in flag spelling, with the dash) the
+// model-half flags present in set — the flags a -scenario fixes and
+// therefore refuses to combine with. Run-shape flags (-terminals,
+// -slots, -seed, -shards, -engine, -telemetry-every, -d, -json,
+// -pprof) never conflict.
+func scenarioFlagConflicts(set map[string]bool) []string {
+	var conflicts []string
+	for _, name := range []string{
+		"model", "q", "c", "U", "V", "m", "dynamic", "hetero",
+		"scheme", "scheme-param", "loss", "poll-loss", "reply-loss",
+		"update-retries", "ack-timeout", "page-retries", "outage",
+	} {
+		if set[name] {
+			conflicts = append(conflicts, "-"+name)
+		}
+	}
+	return conflicts
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pcnsim: ")
@@ -164,57 +194,101 @@ func main() {
 	engineName := flag.String("engine", "fast",
 		"simulation engine: "+strings.Join(locman.EngineNames(), " or ")+
 			" (slot-batched vs reference event-driven); results are bit-identical")
+	schemeName := flag.String("scheme", "distance",
+		"location-update scheme: "+strings.Join(locman.UpdateSchemeNames(), ", "))
+	schemeParam := flag.Int64("scheme-param", 0,
+		"update-scheme parameter: timer period or movement count in slots (distance takes none; its threshold is -d)")
+	scenario := flag.String("scenario", "",
+		"run a registered scenario: "+strings.Join(locman.ScenarioNames(), ", ")+
+			" (fixes the model; run-shape flags still apply)")
+	listScenarios := flag.Bool("scenarios", false,
+		"list the registered scenarios and exit")
 	flag.Parse()
+
+	if *listScenarios {
+		for _, sc := range locman.Scenarios() {
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
 
 	engine, err := locman.EngineByName(*engineName)
 	if err != nil {
 		log.Fatalf("-engine: %v", err)
 	}
-	var mdl locman.Model
-	switch *model {
-	case "1d":
-		mdl = locman.OneDimensional
-	case "2d":
-		mdl = locman.TwoDimensional
-	default:
-		log.Fatalf("unknown model %q (want 1d or 2d)", *model)
-	}
-	cfg := locman.NetworkConfig{
-		Config: locman.Config{
-			Model:      mdl,
-			MoveProb:   *q,
-			CallProb:   *c,
-			UpdateCost: *u,
-			PollCost:   *v,
-			MaxDelay:   *m,
-		},
-		Terminals: *terminals,
-		Threshold: *threshold,
-		Dynamic:   *dynamic,
-		Faults: locman.FaultPlan{
-			UpdateLoss:    *loss,
-			PollLoss:      *pollLoss,
-			ReplyLoss:     *replyLoss,
-			UpdateRetries: *updateRetries,
-			AckTimeout:    *ackTimeout,
-			PageRetries:   *pageRetries,
-		},
-		SnapshotEvery: *telemetryEvery,
-		Seed:          *seed,
-		Engine:        engine,
-	}
-	if *outages != "" {
-		windows, err := parseOutages(*outages)
-		if err != nil {
-			log.Fatal(err)
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var cfg locman.NetworkConfig
+	if *scenario != "" {
+		// The scenario fixes the model half of the run; a model flag set
+		// alongside it is a contradiction, not an override.
+		if conflicts := scenarioFlagConflicts(set); len(conflicts) > 0 {
+			log.Fatalf("-scenario %s fixes the model; drop the conflicting flag(s): %s",
+				*scenario, strings.Join(conflicts, ", "))
 		}
-		cfg.Faults.Outages = windows
-	}
-	if *hetero {
-		base := *q
-		cfg.PerTerminal = func(i int) (float64, float64) {
-			f := 0.5 + float64(i%11)/10.0 // 0.5x .. 1.5x
-			return base * f, *c
+		sc, err := locman.ScenarioByName(*scenario)
+		if err != nil {
+			log.Fatalf("-scenario: %v", err)
+		}
+		cfg = sc.Network()
+		cfg.Terminals = *terminals
+		cfg.SnapshotEvery = *telemetryEvery
+		cfg.Seed = *seed
+		cfg.Engine = engine
+		if set["d"] {
+			cfg.Threshold = *threshold
+		}
+	} else {
+		var mdl locman.Model
+		switch *model {
+		case "1d":
+			mdl = locman.OneDimensional
+		case "2d":
+			mdl = locman.TwoDimensional
+		default:
+			log.Fatalf("unknown model %q (want 1d or 2d)", *model)
+		}
+		scheme, err := locman.UpdateSchemeByName(*schemeName, *schemeParam)
+		if err != nil {
+			log.Fatalf("-scheme: %v", err)
+		}
+		cfg = locman.NetworkConfig{
+			Config: locman.Config{
+				Model:      mdl,
+				MoveProb:   *q,
+				CallProb:   *c,
+				UpdateCost: *u,
+				PollCost:   *v,
+				MaxDelay:   *m,
+			},
+			Terminals: *terminals,
+			Threshold: *threshold,
+			Dynamic:   *dynamic,
+			Scheme:    scheme,
+			Faults: locman.FaultPlan{
+				UpdateLoss:    *loss,
+				PollLoss:      *pollLoss,
+				ReplyLoss:     *replyLoss,
+				UpdateRetries: *updateRetries,
+				AckTimeout:    *ackTimeout,
+				PageRetries:   *pageRetries,
+			},
+			SnapshotEvery: *telemetryEvery,
+			Seed:          *seed,
+			Engine:        engine,
+		}
+		if *outages != "" {
+			windows, err := parseOutages(*outages)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Faults.Outages = windows
+		}
+		if *hetero {
+			// The historical ±50% movement-probability ramp, now expressed
+			// through the same declarative fleet the jobs Spec carries.
+			cfg.Fleet = locman.HeteroFleet(*q, *c)
 		}
 	}
 	if *pprofAddr != "" {
@@ -252,8 +326,10 @@ func main() {
 
 	printReport(os.Stdout, report)
 
-	// Analytical comparison for the homogeneous static case.
-	if !*dynamic && !*hetero {
+	// Analytical comparison for the homogeneous static distance case; the
+	// paper's cost model prices neither heterogeneous populations nor the
+	// timer/movement triggers, and scenarios may carry any of those.
+	if !*dynamic && !*hetero && *scenario == "" && *schemeName == "distance" {
 		d := *threshold
 		if d < 0 {
 			res, err := locman.Optimize(cfg.Config)

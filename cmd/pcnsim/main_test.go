@@ -51,6 +51,36 @@ func TestParseOutages(t *testing.T) {
 	}
 }
 
+// TestScenarioFlagConflicts checks the -scenario guard: every model
+// flag is caught, in flag spelling, and the run-shape flags pass.
+func TestScenarioFlagConflicts(t *testing.T) {
+	if got := scenarioFlagConflicts(map[string]bool{}); len(got) != 0 {
+		t.Errorf("empty set conflicts: %v", got)
+	}
+	runShape := map[string]bool{
+		"terminals": true, "slots": true, "seed": true, "shards": true,
+		"engine": true, "telemetry-every": true, "d": true, "json": true,
+	}
+	if got := scenarioFlagConflicts(runShape); len(got) != 0 {
+		t.Errorf("run-shape flags reported as conflicts: %v", got)
+	}
+	model := map[string]bool{"q": true, "scheme": true, "hetero": true, "outage": true}
+	got := scenarioFlagConflicts(model)
+	want := []string{"-q", "-hetero", "-scheme", "-outage"}
+	if len(got) != len(want) {
+		t.Fatalf("conflicts = %v, want %v", got, want)
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			found = found || g == w
+		}
+		if !found {
+			t.Errorf("conflicts %v missing %s", got, w)
+		}
+	}
+}
+
 func TestPercent(t *testing.T) {
 	for _, tc := range []struct {
 		part, whole int64

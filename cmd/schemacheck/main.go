@@ -85,8 +85,10 @@ func main() {
 // service itself would accept, lifecycle timestamps consistent with the
 // state, and progress within the run's bounds.
 func checkJob(v *jobs.View) error {
-	if v.Schema != jobs.SpecSchema {
-		return fmt.Errorf("schema %d, want %d", v.Schema, jobs.SpecSchema)
+	switch v.Schema {
+	case jobs.SpecSchema, jobs.SpecSchemaV1:
+	default:
+		return fmt.Errorf("schema %d, want %d (or legacy %d)", v.Schema, jobs.SpecSchema, jobs.SpecSchemaV1)
 	}
 	if v.ID == "" {
 		return fmt.Errorf("job id missing")

@@ -12,8 +12,14 @@ import (
 // service (pcnserve) and emitted by its API; it increments on any
 // breaking change so clients can reject documents they do not
 // understand. It also versions the job View documents, which embed the
-// Spec.
-const SpecSchema = 1
+// Spec. Schema 2 added the update-scheme, scenario and fleet fields;
+// every schema-1 document is also a valid schema-2 document (the new
+// fields all default to the historical behaviour), so SpecSchemaV1
+// documents are still accepted on read.
+const (
+	SpecSchema   = 2
+	SpecSchemaV1 = 1
+)
 
 // Spec is the JSON job descriptor: a complete, self-contained
 // description of one PCN simulation run — the analytical configuration,
@@ -44,6 +50,23 @@ type Spec struct {
 	// Partition names the paging partitioner ("" means "sdf"); valid
 	// names are locman.PartitionNames.
 	Partition string `json:"partition,omitempty"`
+	// Scheme names the location-update trigger ("" means "distance");
+	// valid names are locman.UpdateSchemeNames. SchemeParam carries the
+	// scheme's parameter — the timer period or movement count in slots —
+	// and must be zero for the distance scheme, whose radius is Threshold.
+	Scheme      string `json:"scheme,omitempty"`
+	SchemeParam int64  `json:"scheme_param,omitempty"`
+	// Scenario names a registered modelling scenario
+	// (locman.ScenarioNames); it fixes the analytical model — grid,
+	// probabilities, costs, delay bound, scheme, fleet, faults — while
+	// the Spec keeps the run shape (terminals, slots, seed, shards,
+	// engine, telemetry, threshold override). Setting any model field the
+	// scenario already fixes is rejected rather than silently overridden.
+	Scenario string `json:"scenario,omitempty"`
+	// Fleet, when non-nil, declares a heterogeneous population by
+	// behavioural group; see locman.Fleet for the interleaving and
+	// jitter semantics.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
 	// Terminals is the population size and Slots the run length.
 	Terminals int   `json:"terminals"`
 	Slots     int64 `json:"slots"`
@@ -72,6 +95,59 @@ type Spec struct {
 	// TimeoutSec is the per-job wall-clock deadline in seconds; 0 means
 	// no deadline. A job exceeding it fails with a deadline error.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// FleetSpec is the JSON view of locman.Fleet: a heterogeneous terminal
+// population declared by behavioural group. Terminal i belongs to group
+// i mod len(Groups); see locman.Fleet for the jitter semantics.
+type FleetSpec struct {
+	Groups []FleetGroupSpec `json:"groups"`
+}
+
+// FleetGroupSpec is one behavioural class: base movement and call
+// probabilities plus optional relative jitter in [0, 1] that spreads
+// each member's parameters uniformly over [base·(1−j), base·(1+j)].
+type FleetGroupSpec struct {
+	MoveProb float64 `json:"move_prob"`
+	CallProb float64 `json:"call_prob"`
+	QJitter  float64 `json:"q_jitter,omitempty"`
+	CJitter  float64 `json:"c_jitter,omitempty"`
+}
+
+// fleet maps the JSON fleet section onto the engine's Fleet.
+func (f *FleetSpec) fleet() *locman.Fleet {
+	if f == nil {
+		return nil
+	}
+	fl := &locman.Fleet{Groups: make([]locman.FleetGroup, len(f.Groups))}
+	for i, g := range f.Groups {
+		fl.Groups[i] = locman.FleetGroup{
+			MoveProb: g.MoveProb,
+			CallProb: g.CallProb,
+			QJitter:  g.QJitter,
+			CJitter:  g.CJitter,
+		}
+	}
+	return fl
+}
+
+// HeteroFleet is pcnsim's -hetero population in Spec form: eleven groups
+// ramping the movement probability from 0.5x to 1.5x of the base (see
+// locman.HeteroFleet). A job submitted with this fleet is bit-identical
+// to `pcnsim -hetero` at the same parameters — the CLI↔service parity
+// the Spec previously could not express.
+func HeteroFleet(moveProb, callProb float64) *FleetSpec {
+	src := locman.HeteroFleet(moveProb, callProb)
+	fs := &FleetSpec{Groups: make([]FleetGroupSpec, len(src.Groups))}
+	for i, g := range src.Groups {
+		fs.Groups[i] = FleetGroupSpec{
+			MoveProb: g.MoveProb,
+			CallProb: g.CallProb,
+			QJitter:  g.QJitter,
+			CJitter:  g.CJitter,
+		}
+	}
+	return fs
 }
 
 // FaultSpec is the JSON view of locman.FaultPlan; see that type for the
@@ -124,40 +200,91 @@ func (s *Spec) model() (locman.Model, error) {
 	}
 }
 
+// scenarioConflicts lists the Spec fields that are set but fixed by the
+// named scenario — the model half of the descriptor. The run-shape
+// fields (terminals, slots, seed, shards, engine, snapshot_every,
+// threshold, timeout_sec) never conflict; they are the caller's half.
+func (s *Spec) scenarioConflicts() []string {
+	var fields []string
+	add := func(set bool, name string) {
+		if set {
+			fields = append(fields, name)
+		}
+	}
+	add(s.Model != "", "model")
+	add(s.MoveProb != 0, "move_prob")
+	add(s.CallProb != 0, "call_prob")
+	add(s.UpdateCost != 0, "update_cost")
+	add(s.PollCost != 0, "poll_cost")
+	add(s.MaxDelay != 0, "max_delay")
+	add(s.Partition != "", "partition")
+	add(s.Scheme != "", "scheme")
+	add(s.SchemeParam != 0, "scheme_param")
+	add(s.Fleet != nil, "fleet")
+	add(s.Dynamic, "dynamic")
+	add(s.ReoptimizeEvery != 0, "reoptimize_every")
+	add(s.Faults != nil, "faults")
+	return fields
+}
+
 // NetworkConfig maps the Spec onto the engine configuration it
 // describes. The mapping is pure — no defaults beyond the documented
 // zero-value meanings — so equal Specs always produce equal configs.
+// A scenario Spec loads the registered model and rejects any model
+// field set alongside it rather than silently overriding.
 func (s *Spec) NetworkConfig() (locman.NetworkConfig, error) {
-	mdl, err := s.model()
-	if err != nil {
-		return locman.NetworkConfig{}, err
-	}
-	cfg := locman.NetworkConfig{
-		Config: locman.Config{
-			Model:      mdl,
-			MoveProb:   s.MoveProb,
-			CallProb:   s.CallProb,
-			UpdateCost: s.UpdateCost,
-			PollCost:   s.PollCost,
-			MaxDelay:   s.MaxDelay,
-		},
-		Terminals:       s.Terminals,
-		Threshold:       -1,
-		Dynamic:         s.Dynamic,
-		ReoptimizeEvery: s.ReoptimizeEvery,
-		Faults:          s.Faults.plan(),
-		SnapshotEvery:   s.SnapshotEvery,
-		Seed:            s.Seed,
-	}
-	if s.Threshold != nil {
-		cfg.Threshold = *s.Threshold
-	}
-	if s.Partition != "" {
-		p, err := locman.PartitionByName(s.Partition)
+	var cfg locman.NetworkConfig
+	if s.Scenario != "" {
+		if conflicts := s.scenarioConflicts(); len(conflicts) > 0 {
+			return locman.NetworkConfig{}, fmt.Errorf(
+				"jobs: scenario %q fixes the model; drop the conflicting field(s): %s",
+				s.Scenario, strings.Join(conflicts, ", "))
+		}
+		sc, err := locman.ScenarioByName(s.Scenario)
 		if err != nil {
 			return locman.NetworkConfig{}, fmt.Errorf("jobs: %w", err)
 		}
-		cfg.Partition = p
+		cfg = sc.Network()
+	} else {
+		mdl, err := s.model()
+		if err != nil {
+			return locman.NetworkConfig{}, err
+		}
+		cfg = locman.NetworkConfig{
+			Config: locman.Config{
+				Model:      mdl,
+				MoveProb:   s.MoveProb,
+				CallProb:   s.CallProb,
+				UpdateCost: s.UpdateCost,
+				PollCost:   s.PollCost,
+				MaxDelay:   s.MaxDelay,
+			},
+			Threshold:       -1,
+			Dynamic:         s.Dynamic,
+			ReoptimizeEvery: s.ReoptimizeEvery,
+			Fleet:           s.Fleet.fleet(),
+			Faults:          s.Faults.plan(),
+		}
+		if s.Scheme != "" || s.SchemeParam != 0 {
+			sch, err := locman.UpdateSchemeByName(s.Scheme, s.SchemeParam)
+			if err != nil {
+				return locman.NetworkConfig{}, fmt.Errorf("jobs: %w", err)
+			}
+			cfg.Scheme = sch
+		}
+		if s.Partition != "" {
+			p, err := locman.PartitionByName(s.Partition)
+			if err != nil {
+				return locman.NetworkConfig{}, fmt.Errorf("jobs: %w", err)
+			}
+			cfg.Partition = p
+		}
+	}
+	cfg.Terminals = s.Terminals
+	cfg.SnapshotEvery = s.SnapshotEvery
+	cfg.Seed = s.Seed
+	if s.Threshold != nil {
+		cfg.Threshold = *s.Threshold
 	}
 	if s.Engine != "" {
 		e, err := locman.EngineByName(s.Engine)
@@ -210,6 +337,18 @@ func (s *Spec) Validate() error {
 	}
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("jobs: invalid spec: %w", err)
+	}
+	// The embedded Config.Validate covers the average-view parameters
+	// only; check the population and scheme constraints the engine would
+	// otherwise reject at start-of-run, so a Spec that validates here is
+	// guaranteed to start simulating.
+	if cfg.Fleet != nil {
+		if err := cfg.Fleet.Validate(); err != nil {
+			return fmt.Errorf("jobs: invalid spec: %w", err)
+		}
+	}
+	if cfg.Dynamic && cfg.Scheme != nil && cfg.Scheme.Name() != "distance" {
+		return fmt.Errorf("jobs: invalid spec: the dynamic per-user mechanism requires the distance update scheme (got %s)", cfg.Scheme.Name())
 	}
 	return nil
 }

@@ -45,6 +45,13 @@ type Checkpoint struct {
 	// (EngineFast, EngineCols) one per terminal; checkpoints are
 	// interchangeable within a class but not across (see engineClass).
 	Engine Engine
+	// Scheme and SchemeParam record the update scheme the run uses
+	// (SchemeNames / UpdateScheme.Param); resuming under a different
+	// trigger would replay a different mechanism entirely. Checkpoints
+	// written before schemes existed decode with an empty Scheme, which
+	// validateResume reads as "distance".
+	Scheme      string
+	SchemeParam int64
 	// Shard holds the per-shard state, indexed by shard.
 	Shard []ShardCheckpoint
 }
@@ -93,6 +100,11 @@ type TermCheckpoint struct {
 	DesyncedAt  uint64
 	EstQ, EstC  float64
 	RNG         [4]uint64
+	// Moves and LastContact are the movement and timer schemes' trigger
+	// state (terminal.moves / terminal.lastContact); zero in distance
+	// runs and in checkpoints written before schemes existed.
+	Moves       int64
+	LastContact int64
 }
 
 // HLRCheckpoint is one terminal's registry record.
@@ -207,17 +219,19 @@ func captureShardCore(n *network, terms []terminal, rngs []stats.RNG,
 	for i := range terms {
 		t := &terms[i]
 		sc.Terms[i] = TermCheckpoint{
-			Pos:        t.pos,
-			Center:     t.center,
-			Threshold:  t.threshold,
-			Seq:        t.seq,
-			AckedSeq:   t.ackedSeq,
-			Retries:    t.retries,
-			Desynced:   t.desynced,
-			DesyncedAt: uint64(t.desyncedAt),
-			EstQ:       t.est.q,
-			EstC:       t.est.c,
-			RNG:        rngs[i].State(),
+			Pos:         t.pos,
+			Center:      t.center,
+			Threshold:   t.threshold,
+			Seq:         t.seq,
+			AckedSeq:    t.ackedSeq,
+			Retries:     t.retries,
+			Desynced:    t.desynced,
+			DesyncedAt:  uint64(t.desyncedAt),
+			EstQ:        t.est.q,
+			EstC:        t.est.c,
+			RNG:         rngs[i].State(),
+			Moves:       t.moves,
+			LastContact: t.lastContact,
 		}
 	}
 	for i, rec := range n.hlr {
@@ -293,6 +307,8 @@ func restoreShardCore(n *network, terms []terminal, rngs []stats.RNG, sc *ShardC
 		t.desynced = tc.Desynced
 		t.desyncedAt = des.Time(tc.DesyncedAt)
 		t.est.q, t.est.c = tc.EstQ, tc.EstC
+		t.moves = tc.Moves
+		t.lastContact = tc.LastContact
 		rngs[i].SetState(tc.RNG)
 	}
 	for i := range n.hlr {

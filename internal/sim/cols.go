@@ -166,6 +166,7 @@ func runShardCols(ctx context.Context, r shardRun) (shardResult, error) {
 	every := cfg.Telemetry.SnapshotEvery
 	prog := cfg.Telemetry.Progress
 	dyn := cfg.Dynamic
+	kind, param := n.upd.kind, n.upd.param
 	done := ctx.Done()
 	width := int64(r.hi - r.lo)
 	var frames []telemetry.ShardFrame
@@ -234,7 +235,7 @@ func runShardCols(ctx context.Context, r shardRun) (shardResult, error) {
 							c.curD[i] = int32(t.threshold)
 							c.runLen[i] = 1
 						}
-						n.sweepSlot(t)
+						n.sweepSlot(t, s)
 						if dyn && s > 0 && s%cfg.ReoptimizeEvery == 0 {
 							n.reoptimize(t)
 						}
@@ -264,7 +265,26 @@ func runShardCols(ctx context.Context, r shardRun) (shardResult, error) {
 					thr := int(c.thr[i])
 					callT, moveT := c.callT[i], c.moveT[i]
 					for s < stop {
-						gap, called, hit := lr.EventGap(callT, moveT, stop-s)
+						limit := stop - s
+						deadlined := false
+						if kind == schemeTimer {
+							// The gap sampler may not run past the timer's
+							// refresh deadline: that slot takes its call and
+							// move draws individually and then fires the
+							// update, so the budget stops just short of it.
+							// An overdue deadline (a dropped call left
+							// lastContact stale) clamps to a zero budget —
+							// EventGap consumes no draws on a zero limit —
+							// and the slot is processed manually below.
+							if dl := t.lastContact + param; dl < stop {
+								if dl < s {
+									dl = s
+								}
+								limit = dl - s
+								deadlined = true
+							}
+						}
+						gap, called, hit := lr.EventGap(callT, moveT, limit)
 						if dyn {
 							// The estimator's float sequence must match
 							// the scalar per-slot updates exactly, so
@@ -276,7 +296,46 @@ func runShardCols(ctx context.Context, r shardRun) (shardResult, error) {
 						}
 						s += gap
 						if !hit {
-							break
+							if !deadlined {
+								break
+							}
+							// s reached the refresh deadline without an
+							// event. Replay the slot's draws in sweepSlot
+							// order — call, then movement (with its
+							// direction draw), neither of which can trigger
+							// in timer mode — then fire the timer update.
+							if lr.BernoulliT(callT) {
+								rngs[i] = lr
+								t.pos, t.center, t.threshold = pos, ctr, thr
+								subEvents += n.fastPage(t, des.Time(s)*SlotTicks)
+								ctr = t.center
+								lr = rngs[i]
+								s++
+								continue
+							}
+							if lr.BernoulliT(moveT) {
+								if isHex {
+									h := grid.Hex{Q: int(pos.Q), R: int(pos.R)}.Neighbor(lr.Intn(6))
+									pos = wire.Cell{Q: int32(h.Q), R: int32(h.R)}
+								} else {
+									pos = wire.Cell{Q: int32(grid.Line(pos.Q).Neighbor(lr.Intn(2)))}
+								}
+							}
+							rngs[i] = lr
+							sched.AdvanceTo(des.Time(s) * SlotTicks)
+							ctr = pos
+							t.pos, t.center, t.threshold = pos, ctr, thr
+							n.sendUpdate(t)
+							lr = rngs[i]
+							s++
+							c.preSweep[i] = sched.SeqMark()
+							if sched.Pending() > 0 {
+								subEvents += sched.RunBefore(des.Time(s)*SlotTicks, c.preSweep[i])
+								lr = rngs[i]
+								pos, ctr = t.pos, t.center
+								break
+							}
+							continue
 						}
 						if called {
 							// Inline paging exchange through the cold
@@ -294,21 +353,31 @@ func runShardCols(ctx context.Context, r shardRun) (shardResult, error) {
 							s++
 							continue
 						}
-						// Move event: direction draw, then the threshold
-						// crossing check, on concrete grid math (an
-						// interface call here would heap-escape lr).
-						var d int
+						// Move event: direction draw, then the scheme's
+						// trigger decision, on concrete grid math (an
+						// interface call here would heap-escape lr). The
+						// timer scheme never triggers on movement; its
+						// deadline handling sits above.
+						trigger := false
 						if isHex {
 							h := grid.Hex{Q: int(pos.Q), R: int(pos.R)}.Neighbor(lr.Intn(6))
 							pos = wire.Cell{Q: int32(h.Q), R: int32(h.R)}
-							d = h.Dist(grid.Hex{Q: int(ctr.Q), R: int(ctr.R)})
+							if kind == schemeDistance {
+								trigger = h.Dist(grid.Hex{Q: int(ctr.Q), R: int(ctr.R)}) > thr
+							}
 						} else {
 							l := grid.Line(pos.Q).Neighbor(lr.Intn(2))
 							pos = wire.Cell{Q: int32(l)}
-							d = l.Dist(grid.Line(ctr.Q))
+							if kind == schemeDistance {
+								trigger = l.Dist(grid.Line(ctr.Q)) > thr
+							}
+						}
+						if kind == schemeMovement {
+							t.moves++
+							trigger = t.moves >= param
 						}
 						touched := false
-						if d > thr {
+						if trigger {
 							rngs[i] = lr
 							sched.AdvanceTo(des.Time(s) * SlotTicks)
 							ctr = pos

@@ -201,6 +201,7 @@ func runShardFast(ctx context.Context, r shardRun) (shardResult, error) {
 	every := cfg.Telemetry.SnapshotEvery
 	prog := cfg.Telemetry.Progress
 	dyn := cfg.Dynamic
+	kind, param := n.upd.kind, n.upd.param
 	done := ctx.Done()
 	var frames []telemetry.ShardFrame
 	// subEvents counts dispatched sub-slot events across all terminals —
@@ -270,7 +271,7 @@ func runShardFast(ctx context.Context, r shardRun) (shardResult, error) {
 						ft.curD = t.threshold
 						ft.runLen = 1
 					}
-					n.sweepSlot(t)
+					n.sweepSlot(t, s)
 					if dyn && s > 0 && s%cfg.ReoptimizeEvery == 0 {
 						n.reoptimize(t)
 					}
@@ -307,15 +308,35 @@ func runShardFast(ctx context.Context, r shardRun) (shardResult, error) {
 					} else if rng.BernoulliT(moveT) {
 						moved = true
 						t.pos = n.loc.move(t.pos, rng)
-						if n.loc.dist(t.pos, t.center) > t.threshold {
-							// sendUpdate reads the clock (outage windows)
-							// and may arm the ack timer, so the scheduler
-							// must be advanced to this slot first.
-							sched.AdvanceTo(des.Time(s) * SlotTicks)
-							t.center = t.pos
-							n.sendUpdate(t)
-							touched = true
+						switch kind {
+						case schemeDistance:
+							if n.loc.dist(t.pos, t.center) > t.threshold {
+								// sendUpdate reads the clock (outage windows)
+								// and may arm the ack timer, so the scheduler
+								// must be advanced to this slot first.
+								sched.AdvanceTo(des.Time(s) * SlotTicks)
+								t.center = t.pos
+								n.sendUpdate(t)
+								touched = true
+							}
+						case schemeMovement:
+							t.moves++
+							if t.moves >= param {
+								sched.AdvanceTo(des.Time(s) * SlotTicks)
+								t.center = t.pos
+								n.sendUpdate(t)
+								touched = true
+							}
+							// schemeTimer: movement never triggers.
 						}
+					}
+					if kind == schemeTimer && !called && s-t.lastContact >= param {
+						// Refresh deadline reached without contact; same
+						// clock/timer discipline as a triggering move.
+						sched.AdvanceTo(des.Time(s) * SlotTicks)
+						t.center = t.pos
+						n.sendUpdate(t)
+						touched = true
 					}
 					if dyn {
 						t.est.observe(moved, called)

@@ -25,6 +25,10 @@ type network struct {
 	cfg   Config
 	loc   locator
 	sched *des.Scheduler
+	// upd is the compiled update scheme (resolveScheme of cfg.Scheme):
+	// the trigger the sweeps branch on. Not to be confused with scheme(),
+	// the paging partitioner.
+	upd schemePlan
 	// hlr holds the shard's location registry, indexed by id − first:
 	// terminal ids are dense within a shard, so the registry is a flat
 	// slice rather than a map. Every slot is provisioned at construction
@@ -152,8 +156,13 @@ func (n *network) sendUpdate(t *terminal) {
 func (n *network) transmitUpdate(t *terminal) {
 	u := t.makeUpdate()
 	// Sending an update (re)centers the terminal's own view on the
-	// reported cell, whatever becomes of the message in transit.
+	// reported cell, whatever becomes of the message in transit — and
+	// counts as contact: the movement counter and the timer scheme's
+	// reference slot reset in every scheme (the extra writes take no
+	// draws, so distance results are untouched).
 	t.center = t.pos
+	t.moves = 0
+	t.lastContact = int64(n.sched.Now() / SlotTicks)
 	n.scratch = u.Encode(n.scratch[:0])
 	n.metrics.Updates++
 	n.term(u.Terminal).Updates++
@@ -270,7 +279,11 @@ func (n *network) pageSuccess(t *terminal, cycles int) {
 // pageSuccessAt is pageSuccess at an explicit virtual time (see
 // markSyncedAt).
 func (n *network) pageSuccessAt(t *terminal, cycles int, now des.Time) {
+	// An answered page is contact too: both sides re-center, so the
+	// movement and timer schemes restart from here.
 	t.center = t.pos
+	t.moves = 0
+	t.lastContact = int64(now / SlotTicks)
 	n.term(t.id).Delay.Add(float64(cycles))
 	n.metrics.DelayHist.Add(float64(cycles))
 	n.markSyncedAt(t, now)
@@ -392,20 +405,27 @@ func (n *network) page(t *terminal) {
 	n.sched.After(1, func() { cycle(0) })
 }
 
-// sweepSlot runs one slot's worth of terminal activity for t: the call
-// arrival draw (paging on a hit), otherwise the movement draw (threshold
-// crossings send updates), then the dynamic scheme's estimator update.
-// The draw order — call, then movement, then the in-move direction — is
-// the per-terminal RNG contract the fast path's bit-identity rests on:
-// the reference engine runs this method every slot, the fast path
-// replicates the same draws inline on its pure slots (runShardFast) and
-// falls back to this method whenever queued events are in play. Note
-// Bernoulli always consumes a draw, even at probability zero, so the
-// sequence is the same whatever the outcomes. Threshold-usage accounting
-// stays with the callers: the reference engine counts every
-// terminal-slot as it sweeps, the fast path batches runs of unchanged
-// thresholds.
-func (n *network) sweepSlot(t *terminal) {
+// sweepSlot runs slot's worth of terminal activity for t: the call
+// arrival draw (paging on a hit), otherwise the movement draw (the
+// update scheme deciding whether the move triggers an update), then the
+// timer scheme's deadline check, then the dynamic scheme's estimator
+// update. The draw order — call, then movement, then the in-move
+// direction — is the per-terminal RNG contract the fast path's
+// bit-identity rests on: the reference engine runs this method every
+// slot, the batch engines replicate the same draws inline on their pure
+// slots (runShardFast, runShardCols) and fall back to this method
+// whenever queued events are in play. Note Bernoulli always consumes a
+// draw, even at probability zero, so the sequence is the same whatever
+// the outcomes; the scheme dispatch sits strictly after the draws and
+// takes none of its own. Threshold-usage accounting stays with the
+// callers: the reference engine counts every terminal-slot as it
+// sweeps, the batch engines batch runs of unchanged thresholds.
+//
+// slot is the current slot index: the reference engine passes its slot
+// counter, the batch engines the stretch position. It is only read by
+// the timer scheme (the scheduler clock is not necessarily advanced on
+// pure slots).
+func (n *network) sweepSlot(t *terminal, slot int64) {
 	called := t.rng.Bernoulli(t.params.C)
 	moved := false
 	if called {
@@ -413,10 +433,28 @@ func (n *network) sweepSlot(t *terminal) {
 	} else if t.rng.Bernoulli(t.moveProb) {
 		moved = true
 		t.pos = n.loc.move(t.pos, t.rng)
-		if n.loc.dist(t.pos, t.center) > t.threshold {
-			t.center = t.pos
-			n.sendUpdate(t)
+		switch n.upd.kind {
+		case schemeDistance:
+			if n.loc.dist(t.pos, t.center) > t.threshold {
+				t.center = t.pos
+				n.sendUpdate(t)
+			}
+		case schemeMovement:
+			t.moves++
+			if t.moves >= n.upd.param {
+				t.center = t.pos
+				n.sendUpdate(t)
+			}
+			// schemeTimer: movement never triggers an update.
 		}
+	}
+	if n.upd.kind == schemeTimer && !called && slot-t.lastContact >= n.upd.param {
+		// The refresh period elapsed without contact: report the current
+		// position. A slot whose call was answered already re-centered;
+		// one whose call was dropped stays overdue and refreshes on the
+		// next call-free slot.
+		t.center = t.pos
+		n.sendUpdate(t)
 	}
 	if n.cfg.Dynamic {
 		t.est.observe(moved, called)

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UpdateScheme selects the trigger that decides when a mobile terminal
+// reports its location to the network — the "update" half of the paper's
+// update/paging trade-off. The paper studies the distance-based trigger;
+// the comparative literature (timer-, movement- and distance-based
+// schemes) frames the alternatives, and all three ride the same engines,
+// fault machinery and determinism contract: for any scheme, the three
+// engines produce bit-identical Metrics at every shard count.
+//
+// Whatever the trigger, Config.Threshold keeps its meaning as the paging
+// radius: the network pages the residing area of that radius around the
+// registered center. Distance updates guarantee the terminal stays inside
+// it; timer and movement updates do not, so calls to terminals that
+// drifted out resolve through the recovery rounds (FaultPlan.PageRetries)
+// or are dropped — exactly the accounting the fault machinery already
+// does for desynced terminals.
+//
+// The interface is sealed: the engines compile a scheme to an internal
+// plan, so only this package can implement it. Construct instances with
+// DistanceScheme, TimerScheme, MovementScheme or SchemeByName.
+type UpdateScheme interface {
+	// Name is the scheme's registry name, one of SchemeNames.
+	Name() string
+	// Param is the scheme's operating parameter: the timer period in
+	// slots, the movement count in cell crossings, or 0 for distance.
+	Param() int64
+	// plan compiles the scheme for the engines (and seals the interface).
+	plan() (schemePlan, error)
+}
+
+// schemeKind is the engines' compact scheme dispatch tag.
+type schemeKind uint8
+
+const (
+	schemeDistance schemeKind = iota
+	schemeTimer
+	schemeMovement
+)
+
+func (k schemeKind) String() string {
+	switch k {
+	case schemeDistance:
+		return "distance"
+	case schemeTimer:
+		return "timer"
+	case schemeMovement:
+		return "movement"
+	default:
+		return fmt.Sprintf("schemeKind(%d)", int(k))
+	}
+}
+
+// schemePlan is a validated, compiled UpdateScheme: the dispatch tag and
+// the operating parameter, in the form the engine hot loops branch on.
+type schemePlan struct {
+	kind  schemeKind
+	param int64
+}
+
+// DistanceScheme is the paper's trigger: update when the distance from
+// the last registered center exceeds the terminal's threshold. It is the
+// default (a nil Config.Scheme) and the only scheme the dynamic per-user
+// mechanism can re-optimize, since the threshold is its decision
+// variable.
+type DistanceScheme struct{}
+
+// Name implements UpdateScheme.
+func (DistanceScheme) Name() string { return "distance" }
+
+// Param implements UpdateScheme; the distance scheme's parameter is the
+// threshold itself, carried by Config.Threshold.
+func (DistanceScheme) Param() int64 { return 0 }
+
+func (DistanceScheme) plan() (schemePlan, error) {
+	return schemePlan{kind: schemeDistance}, nil
+}
+
+// TimerScheme updates every Every slots since the terminal's last
+// contact with the network — an update transmission or a successfully
+// answered page, both of which re-center the registered area. Movement
+// never triggers an update, so a fast terminal can drift beyond the
+// paging radius between refreshes; such calls resolve through the
+// recovery rounds or count as dropped.
+type TimerScheme struct {
+	// Every is the refresh period in slots; it must be positive.
+	Every int64
+}
+
+// Name implements UpdateScheme.
+func (TimerScheme) Name() string { return "timer" }
+
+// Param implements UpdateScheme.
+func (s TimerScheme) Param() int64 { return s.Every }
+
+func (s TimerScheme) plan() (schemePlan, error) {
+	if s.Every <= 0 {
+		return schemePlan{}, fmt.Errorf("sim: timer scheme period %d slots, want positive", s.Every)
+	}
+	return schemePlan{kind: schemeTimer, param: s.Every}, nil
+}
+
+// MovementScheme updates after Count cell crossings since the last
+// contact. Unlike distance, back-and-forth motion between two cells
+// counts every crossing, so the terminal can trigger while still at
+// distance 1 — the classical inefficiency the distance scheme was
+// proposed to fix, reproduced here for comparison.
+type MovementScheme struct {
+	// Count is the crossing budget; it must be positive.
+	Count int64
+}
+
+// Name implements UpdateScheme.
+func (MovementScheme) Name() string { return "movement" }
+
+// Param implements UpdateScheme.
+func (s MovementScheme) Param() int64 { return s.Count }
+
+func (s MovementScheme) plan() (schemePlan, error) {
+	if s.Count <= 0 {
+		return schemePlan{}, fmt.Errorf("sim: movement scheme count %d crossings, want positive", s.Count)
+	}
+	return schemePlan{kind: schemeMovement, param: s.Count}, nil
+}
+
+// SchemeNames lists the names SchemeByName resolves, in resolution
+// order; like EngineNames, help strings and error messages are built
+// from this single list.
+func SchemeNames() []string {
+	return []string{
+		DistanceScheme{}.Name(),
+		TimerScheme{}.Name(),
+		MovementScheme{}.Name(),
+	}
+}
+
+// SchemeByName resolves a scheme name and its operating parameter, for
+// CLI flags and job specs. The empty name means distance (the default).
+// The error for an unknown name enumerates every valid one.
+func SchemeByName(name string, param int64) (UpdateScheme, error) {
+	switch name {
+	case "", DistanceScheme{}.Name():
+		if param != 0 {
+			return nil, fmt.Errorf("sim: the distance scheme takes no parameter (got %d); its threshold is the -d flag", param)
+		}
+		return DistanceScheme{}, nil
+	case TimerScheme{}.Name():
+		s := TimerScheme{Every: param}
+		if _, err := s.plan(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case MovementScheme{}.Name():
+		s := MovementScheme{Count: param}
+		if _, err := s.plan(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("sim: unknown update scheme %q (valid schemes: %s)",
+		name, strings.Join(SchemeNames(), ", "))
+}
+
+// resolveScheme compiles a Config.Scheme for the engines; nil is the
+// distance default.
+func resolveScheme(s UpdateScheme) (schemePlan, error) {
+	if s == nil {
+		return schemePlan{kind: schemeDistance}, nil
+	}
+	return s.plan()
+}

@@ -133,8 +133,10 @@ func RunShardedOpts(ctx context.Context, cfg Config, slots int64, shards int, op
 	}
 	var agg *ckptAggregator
 	if opts.CheckpointEvery > 0 {
+		upd, _ := resolveScheme(cfg.Scheme) // validated above
 		shape := Checkpoint{Slots: slots, Shards: shards, StartD: startD,
-			Seed: cfg.Seed, Engine: cfg.Engine}
+			Seed: cfg.Seed, Engine: cfg.Engine,
+			Scheme: upd.kind.String(), SchemeParam: upd.param}
 		agg = newCkptAggregator(shape, shards, opts.CheckpointSink)
 	}
 	cfg.Telemetry.Progress.Init(shards)
@@ -218,6 +220,17 @@ func validateResume(cp *Checkpoint, cfg Config, slots int64, shards, startD int)
 	if cp.StartD != startD {
 		return fmt.Errorf("sim: checkpoint start threshold %d does not match run's %d", cp.StartD, startD)
 	}
+	upd, _ := resolveScheme(cfg.Scheme) // cfg was validated before resume
+	cpScheme := cp.Scheme
+	if cpScheme == "" {
+		// Checkpoints written before the scheme field existed are all
+		// distance-scheme runs; the gob zero value reads back as such.
+		cpScheme = schemeDistance.String()
+	}
+	if cpScheme != upd.kind.String() || cp.SchemeParam != upd.param {
+		return fmt.Errorf("sim: checkpoint is for update scheme %s(%d), run wants %s(%d)",
+			cpScheme, cp.SchemeParam, upd.kind, upd.param)
+	}
 	if engineClass(cp.Engine) != engineClass(cfg.Engine) {
 		return fmt.Errorf("sim: %s-engine checkpoint cannot resume on engine %s",
 			engineClass(cp.Engine), cfg.Engine)
@@ -265,6 +278,16 @@ func validate(cfg Config, slots int64) error {
 	if err := cfg.Faults.validate(); err != nil {
 		return err
 	}
+	upd, err := resolveScheme(cfg.Scheme)
+	if err != nil {
+		return err
+	}
+	if cfg.Dynamic && upd.kind != schemeDistance {
+		// The dynamic mechanism's decision variable is the distance
+		// threshold; re-optimizing it under a trigger that ignores
+		// distance would be meaningless.
+		return fmt.Errorf("sim: the dynamic per-user mechanism requires the distance update scheme (got %s)", upd.kind)
+	}
 	if cfg.Threshold > cfg.MaxThreshold {
 		return fmt.Errorf("sim: threshold %d exceeds MaxThreshold %d", cfg.Threshold, cfg.MaxThreshold)
 	}
@@ -310,9 +333,14 @@ func startThreshold(cfg Config) (int, error) {
 // share the identical state the terminal structs use, and no engine
 // pays a heap allocation per terminal.
 func newShardNetwork(cfg Config, slots int64, lo, hi, startD int, loc locator) (*network, []terminal, []stats.RNG, error) {
+	upd, err := resolveScheme(cfg.Scheme)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	n := &network{
 		cfg:   cfg,
 		loc:   loc,
+		upd:   upd,
 		first: uint32(lo),
 		hlr:   make([]hlrRecord, hi-lo),
 		lastD: -1, // 0 is a valid threshold; the plan memo starts empty
@@ -456,7 +484,7 @@ func runShard(ctx context.Context, r shardRun) (shardResult, error) {
 		for i := range terms {
 			t := &terms[i]
 			n.metrics.ThresholdSlots[t.threshold]++
-			n.sweepSlot(t)
+			n.sweepSlot(t, cur)
 		}
 		if cfg.Dynamic && cur > 0 && cur%cfg.ReoptimizeEvery == 0 {
 			for i := range terms {

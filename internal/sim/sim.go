@@ -124,6 +124,11 @@ type Config struct {
 	// terminal i, overriding Core.Params (used by the dynamic scheme
 	// examples: the network cannot know individual behaviour a priori).
 	PerTerminal func(i int) chain.Params
+	// Scheme selects the location-update trigger. nil means
+	// DistanceScheme{} — the paper's distance-based mechanism. The
+	// dynamic per-user mechanism (Dynamic) requires the distance scheme,
+	// whose threshold is its decision variable. See UpdateScheme.
+	Scheme UpdateScheme
 	// Faults injects signalling-plane failures (update/poll/reply loss,
 	// HLR outage windows) and configures the recovery machinery (acked
 	// updates with retransmission, recovery paging rounds). The zero
@@ -276,6 +281,14 @@ type terminal struct {
 	// desyncedAt stamps its onset for the recovery-latency metric.
 	desynced   bool
 	desyncedAt des.Time
+	// moves counts cell crossings since the terminal's last contact with
+	// the network — the movement scheme's trigger state. Contact (an
+	// update transmission or a successfully answered page) resets it, in
+	// every scheme, so the counter carries no scheme-specific branches.
+	moves int64
+	// lastContact is the slot of that last contact — the timer scheme's
+	// reference point. The initial registration at slot 0 counts.
+	lastContact int64
 }
 
 // Run simulates the network for the given number of slots on a single

@@ -29,7 +29,11 @@ func SimulateNetworkCheckpointed(ctx context.Context, cfg NetworkConfig, slots i
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.RunShardedOpts(ctx, cfg.simConfig(), slots, shards, sim.RunOpts{
+	sc, err := cfg.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunShardedOpts(ctx, sc, slots, shards, sim.RunOpts{
 		CheckpointEvery: every,
 		CheckpointSink:  sink,
 	})
@@ -45,7 +49,11 @@ func ResumeNetworkCheckpointed(ctx context.Context, cfg NetworkConfig, slots int
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.RunShardedOpts(ctx, cfg.simConfig(), slots, shards, sim.RunOpts{
+	sc, err := cfg.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunShardedOpts(ctx, sc, slots, shards, sim.RunOpts{
 		Resume:          cp,
 		CheckpointEvery: every,
 		CheckpointSink:  sink,

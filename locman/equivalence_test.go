@@ -9,15 +9,32 @@ import (
 
 // TestEngineEquivalence is the three-engine differential suite and the
 // merge gate for any engine change: over the cross product of
-// {1d, 2d} × {static, dynamic threshold} × {zero faults, lossy+outage},
-// every engine at every shard count in {1, 3, 7} must produce a Report
-// whose JSON document is byte-identical to the single-shard reference
+// {distance, timer, movement update schemes} × {1d, 2d} ×
+// {static, dynamic threshold} × {zero faults, lossy+outage}, every
+// engine at every shard count in {1, 3, 7} must produce a Report whose
+// JSON document is byte-identical to the single-shard reference
 // engine's. Comparing the full Report bytes — not just headline metrics
 // — covers the counters, per-call delay and recovery summaries, both
 // histograms and the telemetry snapshot series; byte equality against
 // one reference makes every pair of {des, fast, cols} equal by
 // transitivity. Run under -race in CI.
+//
+// The timer and movement schemes run on a jittered heterogeneous Fleet
+// (covering the fleet path's shard invariance in the same stroke) and
+// skip the dynamic mode, which is distance-only by validation. The
+// movement count (5) exceeds the paging radius (2), so out-of-area calls
+// exercise the fallback/recovery paging paths even in the clean cases;
+// the timer period (37) divides neither the snapshot cadence nor the run
+// length, so refresh deadlines land mid-batch for the batch engines.
 func TestEngineEquivalence(t *testing.T) {
+	schemes := []struct {
+		name   string
+		scheme UpdateScheme
+	}{
+		{"distance", nil},
+		{"timer", TimerUpdate(37)},
+		{"movement", MovementUpdate(5)},
+	}
 	grids := []struct {
 		name  string
 		model Model
@@ -49,7 +66,7 @@ func TestEngineEquivalence(t *testing.T) {
 	engines := []Engine{EngineDES, EngineFast, EngineCols}
 	shardCounts := []int{1, 3, 7}
 
-	config := func(model Model, dynamic bool, plan FaultPlan) NetworkConfig {
+	config := func(scheme UpdateScheme, model Model, dynamic bool, plan FaultPlan) NetworkConfig {
 		cfg := NetworkConfig{
 			Config: Config{
 				Model:      model,
@@ -75,6 +92,13 @@ func TestEngineEquivalence(t *testing.T) {
 				return 0.08 + 0.05*float64(i%4), 0.01 + 0.015*float64(i%3)
 			}
 		}
+		if scheme != nil {
+			cfg.Scheme = scheme
+			cfg.Fleet = &Fleet{Groups: []FleetGroup{
+				{MoveProb: 0.25, CallProb: 0.03, QJitter: 0.5, CJitter: 0.5},
+				{MoveProb: 0.1, CallProb: 0.06, QJitter: 0.2},
+			}}
+		}
 		return cfg
 	}
 	const slots = 1_500
@@ -93,28 +117,36 @@ func TestEngineEquivalence(t *testing.T) {
 		return b
 	}
 
-	for _, g := range grids {
-		for _, mode := range modes {
-			for _, f := range faults {
-				t.Run(fmt.Sprintf("%s/%s/%s", g.name, mode.name, f.name), func(t *testing.T) {
-					cfg := config(g.model, mode.dynamic, f.plan)
-					want := marshal(t, cfg, EngineDES, 1)
-					if f.plan.UpdateLoss > 0 && bytes.Contains(want, []byte(`"lost_updates": 0,`)) {
-						t.Fatal("lossy plan exercised no losses; the case covers nothing")
-					}
-					for _, engine := range engines {
-						for _, shards := range shardCounts {
-							if engine == EngineDES && shards == 1 {
-								continue // the reference itself
-							}
-							got := marshal(t, cfg, engine, shards)
-							if !bytes.Equal(got, want) {
-								t.Errorf("%s engine at %d shard(s) diverged from the single-shard reference:\n%s\nreference:\n%s",
-									engine, shards, got, want)
+	for _, sch := range schemes {
+		for _, g := range grids {
+			for _, mode := range modes {
+				if mode.dynamic && sch.scheme != nil {
+					continue // the dynamic mechanism is distance-only
+				}
+				for _, f := range faults {
+					t.Run(fmt.Sprintf("%s/%s/%s/%s", sch.name, g.name, mode.name, f.name), func(t *testing.T) {
+						cfg := config(sch.scheme, g.model, mode.dynamic, f.plan)
+						want := marshal(t, cfg, EngineDES, 1)
+						if f.plan.UpdateLoss > 0 && bytes.Contains(want, []byte(`"lost_updates": 0,`)) {
+							t.Fatal("lossy plan exercised no losses; the case covers nothing")
+						}
+						if sch.scheme != nil && bytes.Contains(want, []byte(`"updates": 0,`)) {
+							t.Fatalf("%s scheme sent no updates; the case covers nothing", sch.name)
+						}
+						for _, engine := range engines {
+							for _, shards := range shardCounts {
+								if engine == EngineDES && shards == 1 {
+									continue // the reference itself
+								}
+								got := marshal(t, cfg, engine, shards)
+								if !bytes.Equal(got, want) {
+									t.Errorf("%s engine at %d shard(s) diverged from the single-shard reference:\n%s\nreference:\n%s",
+										engine, shards, got, want)
+								}
 							}
 						}
-					}
-				})
+					})
+				}
 			}
 		}
 	}

@@ -1,0 +1,105 @@
+package locman
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/stats"
+)
+
+// fleetSeedSalt decorrelates the fleet's parameter-jitter streams from
+// the simulation's per-terminal event streams: terminal i's jittered
+// parameters come from stats.SubStream(Seed^fleetSeedSalt, i), while its
+// movement/call draws come from stats.SubStream(Seed, i). The constant is
+// the 64-bit golden-ratio increment, the same family of salts SplitMix64
+// itself uses.
+const fleetSeedSalt = 0x9E3779B97F4A7C15
+
+// FleetGroup describes one behavioural class of terminals: base per-slot
+// movement and call probabilities plus optional relative jitter that
+// individualizes each member around the base.
+type FleetGroup struct {
+	// MoveProb and CallProb are the group's base q and c.
+	MoveProb float64
+	CallProb float64
+	// QJitter and CJitter spread each member's parameters uniformly over
+	// [base·(1−j), base·(1+j)], drawn from the terminal's own parameter
+	// SubStream so the value depends only on (Seed, terminal id) — never
+	// on the shard partition or population ordering. Both must lie in
+	// [0, 1]; zero means every member uses the base exactly.
+	QJitter float64
+	CJitter float64
+}
+
+// Fleet declares a heterogeneous terminal population: terminal i belongs
+// to Groups[i mod len(Groups)], so the classes interleave evenly at any
+// population size. A Fleet is pure data — unlike the PerTerminal
+// callback it can live in a job Spec, travel over the wire, and be
+// validated up front — and it is the substrate the scenario registry's
+// mixed populations build on.
+type Fleet struct {
+	Groups []FleetGroup
+}
+
+// Validate rejects fleets whose parameters could leave [0, 1] or exceed
+// q + c ≤ 1 at any jitter extreme, naming the offending group. Validity
+// at both extremes implies validity everywhere in between, so a fleet
+// that passes can never produce an invalid terminal.
+func (f *Fleet) Validate() error {
+	if f == nil || len(f.Groups) == 0 {
+		return errors.New("locman: fleet has no groups")
+	}
+	for gi, g := range f.Groups {
+		if !(g.QJitter >= 0 && g.QJitter <= 1) {
+			return fmt.Errorf("locman: fleet group %d: move-probability jitter %v outside [0, 1]", gi, g.QJitter)
+		}
+		if !(g.CJitter >= 0 && g.CJitter <= 1) {
+			return fmt.Errorf("locman: fleet group %d: call-probability jitter %v outside [0, 1]", gi, g.CJitter)
+		}
+		for _, p := range []chain.Params{
+			{Q: g.MoveProb * (1 - g.QJitter), C: g.CallProb * (1 - g.CJitter)},
+			{Q: g.MoveProb * (1 + g.QJitter), C: g.CallProb * (1 + g.CJitter)},
+		} {
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("locman: fleet group %d: %w", gi, err)
+			}
+		}
+	}
+	return nil
+}
+
+// perTerminal compiles the fleet into the PerTerminal closure the
+// simulator consumes. Groups without jitter take no draws at all, so a
+// jitter-free fleet reproduces its base parameters exactly (HeteroFleet
+// relies on this to match the historical -hetero closure bit for bit).
+func (f *Fleet) perTerminal(seed uint64) func(i int) (float64, float64) {
+	groups := append([]FleetGroup(nil), f.Groups...)
+	return func(i int) (float64, float64) {
+		g := groups[i%len(groups)]
+		q, c := g.MoveProb, g.CallProb
+		if g.QJitter != 0 || g.CJitter != 0 {
+			var r stats.RNG
+			r.SeedSubStream(seed^fleetSeedSalt, uint64(i))
+			q *= 1 + g.QJitter*(2*r.Float64()-1)
+			c *= 1 + g.CJitter*(2*r.Float64()-1)
+		}
+		return q, c
+	}
+}
+
+// HeteroFleet is the pcnsim -hetero population as a declarative fleet:
+// eleven groups whose movement probabilities ramp from 0.5x to 1.5x of
+// the base, all sharing the base call probability. Terminal i mod 11
+// picks the group, reproducing the historical hardcoded closure
+// bit-identically — the CLI, the jobs Spec and the scenario registry all
+// express -hetero through this one constructor, which closes the
+// CLI↔service parity hole.
+func HeteroFleet(moveProb, callProb float64) *Fleet {
+	groups := make([]FleetGroup, 11)
+	for g := range groups {
+		f := 0.5 + float64(g)/10.0 // 0.5x .. 1.5x
+		groups[g] = FleetGroup{MoveProb: moveProb * f, CallProb: callProb}
+	}
+	return &Fleet{Groups: groups}
+}

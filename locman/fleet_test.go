@@ -1,0 +1,191 @@
+package locman
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHeteroFleetMatchesClosure holds HeteroFleet to its contract: the
+// declarative fleet must reproduce the historical pcnsim -hetero
+// closure bit for bit — full Report bytes, not just headline metrics —
+// so moving the CLI and the job Spec onto the fleet changed nothing.
+func TestHeteroFleetMatchesClosure(t *testing.T) {
+	base := NetworkConfig{
+		Config: Config{
+			Model:      TwoDimensional,
+			MoveProb:   0.1,
+			CallProb:   0.02,
+			UpdateCost: 100,
+			PollCost:   10,
+			MaxDelay:   3,
+		},
+		Terminals:     26, // not a multiple of 11, so the ramp wraps unevenly
+		Threshold:     -1,
+		SnapshotEvery: 700,
+		Seed:          13,
+	}
+	run := func(cfg NetworkConfig) []byte {
+		t.Helper()
+		m, err := SimulateNetworkSharded(cfg, 5_000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(NewReport(m), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	closure := base
+	closure.PerTerminal = func(i int) (float64, float64) {
+		f := 0.5 + float64(i%11)/10.0 // the historical hardcoded ramp
+		return base.MoveProb * f, base.CallProb
+	}
+	fleet := base
+	fleet.Fleet = HeteroFleet(base.MoveProb, base.CallProb)
+
+	want, got := run(closure), run(fleet)
+	if !bytes.Equal(got, want) {
+		t.Errorf("HeteroFleet diverged from the historical closure:\n%s\nclosure:\n%s", got, want)
+	}
+}
+
+// TestFleetValidate pins fleet-level up-front validation: empty fleets,
+// out-of-range jitter, and groups whose jitter extremes escape the
+// parameter space are all rejected with errors naming the offender —
+// before any simulation work starts.
+func TestFleetValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		fleet *Fleet
+		err   string // "" means valid
+	}{
+		{"nil fleet", nil, "fleet has no groups"},
+		{"no groups", &Fleet{}, "fleet has no groups"},
+		{"plain valid", &Fleet{Groups: []FleetGroup{{MoveProb: 0.2, CallProb: 0.05}}}, ""},
+		{"jittered valid", &Fleet{Groups: []FleetGroup{
+			{MoveProb: 0.2, CallProb: 0.05, QJitter: 1, CJitter: 0.5},
+		}}, ""},
+		{"negative q jitter", &Fleet{Groups: []FleetGroup{
+			{MoveProb: 0.2, CallProb: 0.05, QJitter: -0.1},
+		}}, "group 0: move-probability jitter -0.1 outside [0, 1]"},
+		{"oversized c jitter", &Fleet{Groups: []FleetGroup{
+			{MoveProb: 0.2, CallProb: 0.05},
+			{MoveProb: 0.2, CallProb: 0.05, CJitter: 1.5},
+		}}, "group 1: call-probability jitter 1.5 outside [0, 1]"},
+		{"NaN jitter", &Fleet{Groups: []FleetGroup{
+			{MoveProb: 0.2, CallProb: 0.05, QJitter: math.NaN()},
+		}}, "outside [0, 1]"},
+		{"upper extreme escapes", &Fleet{Groups: []FleetGroup{
+			{MoveProb: 0.2, CallProb: 0.05},
+			// 0.7·1.5 + 0.05 > 1 at the +50% extreme.
+			{MoveProb: 0.7, CallProb: 0.05, QJitter: 0.5},
+		}}, "group 1:"},
+		{"negative base", &Fleet{Groups: []FleetGroup{
+			{MoveProb: -0.1, CallProb: 0.05},
+		}}, "group 0:"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.fleet.Validate()
+			if tc.err == "" {
+				if err != nil {
+					t.Fatalf("valid fleet rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Fatalf("err = %v, want containing %q", err, tc.err)
+			}
+		})
+	}
+}
+
+// TestFleetPerTerminalDeterminism checks the jitter contract: a
+// member's parameters depend only on (seed, terminal id) — never on
+// call order — jitter-free groups reproduce their base exactly, and
+// every jittered draw stays inside [base·(1−j), base·(1+j)].
+func TestFleetPerTerminalDeterminism(t *testing.T) {
+	f := &Fleet{Groups: []FleetGroup{
+		{MoveProb: 0.2, CallProb: 0.04, QJitter: 0.5, CJitter: 0.25},
+		{MoveProb: 0.1, CallProb: 0.02}, // jitter-free
+	}}
+	a, b := f.perTerminal(42), f.perTerminal(42)
+	other := f.perTerminal(43)
+	var differs bool
+	for i := 0; i < 64; i++ {
+		q1, c1 := a(i)
+		// Same seed: identical from an independent closure instance with
+		// a different call history (b already served terminal 63−i).
+		b(63 - i)
+		q2, c2 := b(i)
+		if q1 != q2 || c1 != c2 {
+			t.Fatalf("terminal %d: (%v, %v) vs (%v, %v) for the same seed", i, q1, c1, q2, c2)
+		}
+		g := f.Groups[i%2]
+		if g.QJitter == 0 && g.CJitter == 0 {
+			if q1 != g.MoveProb || c1 != g.CallProb {
+				t.Fatalf("jitter-free terminal %d drew (%v, %v), want base (%v, %v)",
+					i, q1, c1, g.MoveProb, g.CallProb)
+			}
+		} else {
+			if q1 < g.MoveProb*(1-g.QJitter) || q1 > g.MoveProb*(1+g.QJitter) {
+				t.Fatalf("terminal %d q %v outside jitter range", i, q1)
+			}
+			if c1 < g.CallProb*(1-g.CJitter) || c1 > g.CallProb*(1+g.CJitter) {
+				t.Fatalf("terminal %d c %v outside jitter range", i, c1)
+			}
+			if oq, _ := other(i); oq == q1 {
+				continue // rare but possible for one terminal; tracked below
+			}
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("seeds 42 and 43 produced identical jittered parameters throughout")
+	}
+}
+
+// TestFleetPerTerminalExclusive checks the configuration guard: a
+// config carrying both the declarative Fleet and the PerTerminal
+// callback is ambiguous and must be rejected.
+func TestFleetPerTerminalExclusive(t *testing.T) {
+	cfg := NetworkConfig{
+		Config: Config{
+			Model: TwoDimensional, MoveProb: 0.1, CallProb: 0.02,
+			UpdateCost: 100, PollCost: 10, MaxDelay: 3,
+		},
+		Terminals:   4,
+		Threshold:   2,
+		Fleet:       &Fleet{Groups: []FleetGroup{{MoveProb: 0.1, CallProb: 0.02}}},
+		PerTerminal: func(i int) (float64, float64) { return 0.1, 0.02 },
+		Seed:        1,
+	}
+	_, err := SimulateNetworkSharded(cfg, 100, 1)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("Fleet+PerTerminal accepted: %v", err)
+	}
+}
+
+// TestFleetInvalidRejectedUpFront checks an invalid fleet fails the run
+// before simulation starts, with the group-naming error — the
+// fleet-level half of the heterogeneous validation fix.
+func TestFleetInvalidRejectedUpFront(t *testing.T) {
+	cfg := NetworkConfig{
+		Config: Config{
+			Model: TwoDimensional, MoveProb: 0.1, CallProb: 0.02,
+			UpdateCost: 100, PollCost: 10, MaxDelay: 3,
+		},
+		Terminals: 4,
+		Threshold: 2,
+		Fleet:     &Fleet{Groups: []FleetGroup{{MoveProb: 0.8, CallProb: 0.4}}},
+		Seed:      1,
+	}
+	_, err := SimulateNetworkSharded(cfg, 100, 1)
+	if err == nil || !strings.Contains(err.Error(), "fleet group 0") {
+		t.Fatalf("invalid fleet accepted or error unhelpful: %v", err)
+	}
+}

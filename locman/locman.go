@@ -272,8 +272,18 @@ type NetworkConfig struct {
 	// (default 2000).
 	ReoptimizeEvery int64
 	// PerTerminal optionally supplies heterogeneous (moveProb, callProb)
-	// per terminal index.
+	// per terminal index. Mutually exclusive with Fleet; prefer Fleet,
+	// which is declarative (expressible in a job Spec) and validated up
+	// front.
 	PerTerminal func(i int) (moveProb, callProb float64)
+	// Fleet optionally declares a heterogeneous population as data; see
+	// Fleet. Mutually exclusive with PerTerminal.
+	Fleet *Fleet
+	// Scheme selects the location-update trigger: nil means the paper's
+	// distance scheme. TimerUpdate and MovementUpdate select the
+	// comparative literature's alternatives; Threshold keeps its meaning
+	// as the paging radius in every scheme. See UpdateScheme.
+	Scheme UpdateScheme
 	// UpdateLossProb injects signalling failures: each location-update
 	// message is lost with this probability, forcing occasional
 	// expanding-ring fallback paging (see NetworkMetrics.FallbackCalls).
@@ -331,6 +341,38 @@ func EngineByName(name string) (Engine, error) { return sim.EngineByName(name) }
 // strings and error messages.
 func EngineNames() []string { return sim.EngineNames() }
 
+// UpdateScheme selects the location-update trigger — the "when does the
+// terminal report its location" half of the mechanism. Whatever the
+// trigger, NetworkConfig.Threshold keeps its meaning as the paging
+// radius. Obtain instances from DistanceUpdate, TimerUpdate,
+// MovementUpdate or UpdateSchemeByName; see sim.UpdateScheme for the
+// full semantics.
+type UpdateScheme = sim.UpdateScheme
+
+// DistanceUpdate returns the paper's distance-based trigger (the
+// default): update when the distance from the registered center exceeds
+// the threshold.
+func DistanceUpdate() UpdateScheme { return sim.DistanceScheme{} }
+
+// TimerUpdate returns the timer-based trigger: update every `every`
+// slots since the last contact with the network.
+func TimerUpdate(every int64) UpdateScheme { return sim.TimerScheme{Every: every} }
+
+// MovementUpdate returns the movement-based trigger: update after count
+// cell crossings since the last contact.
+func MovementUpdate(count int64) UpdateScheme { return sim.MovementScheme{Count: count} }
+
+// UpdateSchemeByName resolves "distance", "timer" or "movement" with its
+// operating parameter (0 for distance), for CLI flags and job specs; the
+// error for an unknown name enumerates the valid ones.
+func UpdateSchemeByName(name string, param int64) (UpdateScheme, error) {
+	return sim.SchemeByName(name, param)
+}
+
+// UpdateSchemeNames lists the names UpdateSchemeByName resolves, for CLI
+// help strings and error messages.
+func UpdateSchemeNames() []string { return sim.SchemeNames() }
+
 // FaultPlan configures fault injection and recovery for the PCN system
 // simulation; see the sim package for field semantics.
 type FaultPlan = sim.FaultPlan
@@ -361,7 +403,7 @@ type Progress = telemetry.Progress
 // ShardStatus is one shard's progress as reported by Progress.Snapshot.
 type ShardStatus = telemetry.ShardStatus
 
-func (cfg NetworkConfig) simConfig() sim.Config {
+func (cfg NetworkConfig) simConfig() (sim.Config, error) {
 	sc := sim.Config{
 		Core:            cfg.internal(),
 		Terminals:       cfg.Terminals,
@@ -369,6 +411,7 @@ func (cfg NetworkConfig) simConfig() sim.Config {
 		Dynamic:         cfg.Dynamic,
 		ReoptimizeEvery: cfg.ReoptimizeEvery,
 		MaxThreshold:    cfg.MaxThreshold,
+		Scheme:          cfg.Scheme,
 		Faults:          cfg.Faults,
 		Telemetry: telemetry.Config{
 			SnapshotEvery: cfg.SnapshotEvery,
@@ -380,13 +423,29 @@ func (cfg NetworkConfig) simConfig() sim.Config {
 	if sc.Faults.UpdateLoss == 0 {
 		sc.Faults.UpdateLoss = cfg.UpdateLossProb
 	}
-	if cfg.PerTerminal != nil {
+	switch {
+	case cfg.Fleet != nil && cfg.PerTerminal != nil:
+		return sim.Config{}, fmt.Errorf("locman: Fleet and PerTerminal are mutually exclusive")
+	case cfg.Fleet != nil:
+		// A fleet is rejected whole before the run starts: every group's
+		// jitter extremes must be valid parameters, so no terminal can be
+		// built invalid (the per-terminal shard-build check then never
+		// fires for fleets).
+		if err := cfg.Fleet.Validate(); err != nil {
+			return sim.Config{}, err
+		}
+		per := cfg.Fleet.perTerminal(cfg.Seed)
+		sc.PerTerminal = func(i int) chain.Params {
+			q, c := per(i)
+			return chain.Params{Q: q, C: c}
+		}
+	case cfg.PerTerminal != nil:
 		sc.PerTerminal = func(i int) chain.Params {
 			q, c := cfg.PerTerminal(i)
 			return chain.Params{Q: q, C: c}
 		}
 	}
-	return sc
+	return sc, nil
 }
 
 // SimulateNetwork runs the PCN system simulator for the given slots.
@@ -394,7 +453,11 @@ func SimulateNetwork(cfg NetworkConfig, slots int64) (*NetworkMetrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.Run(cfg.simConfig(), slots)
+	sc, err := cfg.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(sc, slots)
 }
 
 // SimulateNetworkSharded is SimulateNetwork with the terminal population
@@ -419,7 +482,11 @@ func SimulateNetworkShardedCtx(ctx context.Context, cfg NetworkConfig, slots int
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.RunShardedCtx(ctx, cfg.simConfig(), slots, shards)
+	sc, err := cfg.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunShardedCtx(ctx, sc, slots, shards)
 }
 
 // BaselineScheme identifies a comparison scheme for SimulateBaseline.

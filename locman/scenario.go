@@ -1,0 +1,157 @@
+package locman
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scenario is a named, self-contained modelling situation: the
+// analytical parameters (grid, probabilities, costs, delay bound), the
+// update scheme, an optional heterogeneous fleet and an optional fault
+// plan. A scenario deliberately fixes only the *model*; the run shape —
+// population size, slot count, seed, shard count, engine, telemetry —
+// stays with the caller, so the same scenario scales from a smoke test
+// to a million-terminal run without redefinition.
+//
+// The registry (Scenarios, ScenarioByName) is shared by pcnsim
+// (-scenario), pcnctl and the jobs Spec, so a scenario named anywhere
+// resolves to the same configuration everywhere — the same determinism
+// contract the engines already keep.
+type Scenario struct {
+	// Name is the registry key (ScenarioByName); Description is one line
+	// for CLI listings.
+	Name        string
+	Description string
+	// Config carries the analytical parameters. When Fleet is set,
+	// Config.MoveProb/CallProb are the network's average view — what the
+	// fixed network optimizes thresholds and paging plans from, since it
+	// cannot know individual behaviour a priori.
+	Config Config
+	// Scheme is the update trigger; nil means distance.
+	Scheme UpdateScheme
+	// Fleet, when non-nil, declares the heterogeneous population.
+	Fleet *Fleet
+	// Faults, when non-zero, injects the scenario's signalling faults.
+	Faults FaultPlan
+}
+
+// Network returns a NetworkConfig loaded with the scenario's fixed model
+// parameters and a network-optimized threshold (-1). The caller fills
+// the run shape: Terminals, Seed, SnapshotEvery, Engine — and may
+// override Threshold, which keeps its paging-radius meaning in every
+// scheme.
+func (s Scenario) Network() NetworkConfig {
+	return NetworkConfig{
+		Config:    s.Config,
+		Threshold: -1,
+		Scheme:    s.Scheme,
+		Fleet:     s.Fleet,
+		Faults:    s.Faults,
+	}
+}
+
+// Scenarios lists the registered scenarios in registry order. The slice
+// is freshly built per call; callers may modify it.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "baseline",
+			Description: "the paper's reference workload: 2-D grid, q=0.05, c=0.01, U=100, V=10, m=3, distance updates",
+			Config: Config{
+				Model:      TwoDimensional,
+				MoveProb:   0.05,
+				CallProb:   0.01,
+				UpdateCost: 100,
+				PollCost:   10,
+				MaxDelay:   3,
+			},
+		},
+		{
+			Name:        "rush-hour-hotspot",
+			Description: "dense 2-D cell cluster at rush hour: high mobility and call load with wide per-user spread, tight delay bound",
+			Config: Config{
+				Model:      TwoDimensional,
+				MoveProb:   0.35,
+				CallProb:   0.08,
+				UpdateCost: 100,
+				PollCost:   10,
+				MaxDelay:   2,
+			},
+			Fleet: &Fleet{Groups: []FleetGroup{
+				{MoveProb: 0.35, CallProb: 0.08, QJitter: 0.4, CJitter: 0.5},
+			}},
+		},
+		{
+			Name:        "highway-commute",
+			Description: "1-D highway corridor: fast directional motion under movement-based updates (M=6), cheap line paging",
+			Config: Config{
+				Model:      OneDimensional,
+				MoveProb:   0.45,
+				CallProb:   0.01,
+				UpdateCost: 100,
+				PollCost:   5,
+				MaxDelay:   3,
+			},
+			Scheme: MovementUpdate(6),
+		},
+		{
+			Name:        "mixed-fleet",
+			Description: "pedestrians, vehicles and couriers interleaved, each member's q/c drawn from its own parameter SubStream",
+			Config: Config{
+				// The network's average view of the mixed population.
+				Model:      TwoDimensional,
+				MoveProb:   0.15,
+				CallProb:   0.02,
+				UpdateCost: 100,
+				PollCost:   10,
+				MaxDelay:   3,
+			},
+			Fleet: &Fleet{Groups: []FleetGroup{
+				{MoveProb: 0.02, CallProb: 0.015, QJitter: 0.6, CJitter: 0.5}, // pedestrians
+				{MoveProb: 0.3, CallProb: 0.01, QJitter: 0.3},                 // vehicles
+				{MoveProb: 0.15, CallProb: 0.05, QJitter: 0.5, CJitter: 0.4},  // couriers
+			}},
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "call storm with a lossy signalling plane and an HLR outage, timer updates (T=400) riding the recovery machinery",
+			Config: Config{
+				Model:      TwoDimensional,
+				MoveProb:   0.1,
+				CallProb:   0.12,
+				UpdateCost: 50,
+				PollCost:   1,
+				MaxDelay:   1,
+			},
+			Scheme: TimerUpdate(400),
+			Faults: FaultPlan{
+				UpdateLoss:    0.05,
+				UpdateRetries: 2,
+				Outages:       []Outage{{Start: 500, End: 650}},
+			},
+		},
+	}
+}
+
+// ScenarioNames lists the registered names in registry order, for CLI
+// help strings and error messages.
+func ScenarioNames() []string {
+	scs := Scenarios()
+	names := make([]string, len(scs))
+	for i, s := range scs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ScenarioByName resolves a registered scenario; the error for an
+// unknown name enumerates every valid one, matching EngineByName style.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("locman: unknown scenario %q (valid scenarios: %s)",
+		name, strings.Join(ScenarioNames(), ", "))
+}

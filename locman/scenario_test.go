@@ -1,0 +1,96 @@
+package locman
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestScenarioRegistry pins the registry's shape: unique non-empty
+// names, one-line descriptions, ScenarioNames in registry order, and
+// every scenario resolvable by its own name.
+func TestScenarioRegistry(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) == 0 {
+		t.Fatal("empty scenario registry")
+	}
+	names := ScenarioNames()
+	if len(names) != len(scs) {
+		t.Fatalf("%d names for %d scenarios", len(names), len(scs))
+	}
+	seen := map[string]bool{}
+	for i, sc := range scs {
+		if sc.Name == "" || sc.Description == "" {
+			t.Errorf("scenario %d missing name or description", i)
+		}
+		if strings.ContainsAny(sc.Name, " \t\n") {
+			t.Errorf("scenario name %q contains whitespace; CLI listings split on it", sc.Name)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if names[i] != sc.Name {
+			t.Errorf("ScenarioNames[%d] = %q, want %q", i, names[i], sc.Name)
+		}
+		got, err := ScenarioByName(sc.Name)
+		if err != nil {
+			t.Errorf("ScenarioByName(%q): %v", sc.Name, err)
+		} else if got.Name != sc.Name {
+			t.Errorf("ScenarioByName(%q) resolved %q", sc.Name, got.Name)
+		}
+	}
+}
+
+// TestScenarioByNameUnknown checks the error enumerates every valid
+// name, matching the EngineByName / SchemeByName style.
+func TestScenarioByNameUnknown(t *testing.T) {
+	_, err := ScenarioByName("rush-hour")
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown scenario "rush-hour"`) {
+		t.Errorf("error %q does not quote the bad name", msg)
+	}
+	for _, name := range ScenarioNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not offer %q", msg, name)
+		}
+	}
+}
+
+// TestScenariosRunnable runs every registered scenario end to end on a
+// small shape across shard counts: the configuration must validate, the
+// run must produce traffic, and the Report must be shard-invariant —
+// so a scenario cannot be registered broken.
+func TestScenariosRunnable(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			cfg := sc.Network()
+			cfg.Terminals = 7
+			cfg.Seed = 3
+			cfg.SnapshotEvery = 900
+			run := func(shards int) []byte {
+				t.Helper()
+				m, err := SimulateNetworkSharded(cfg, 2_000, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.MarshalIndent(NewReport(m), "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			want := run(1)
+			if got := run(3); !bytes.Equal(got, want) {
+				t.Error("scenario report is not shard-invariant")
+			}
+			if bytes.Contains(want, []byte(`"calls": 0,`)) {
+				t.Error("scenario produced no calls; it exercises nothing")
+			}
+		})
+	}
+}
