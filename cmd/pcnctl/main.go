@@ -9,6 +9,7 @@
 //	pcnctl watch j000001
 //	pcnctl cancel j000001
 //	pcnctl result j000001 > report.json
+//	pcnctl query -where "scheme=distance" -by scenario,d -agg "count,mean(total_cost),p95(delay_p95)"
 //
 // submit mirrors the pcnsim flag surface (including the fault-injection
 // flags) and posts the job spec; with -wait it follows the job's NDJSON
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/results"
 	"repro/internal/server"
 	"repro/locman"
 )
@@ -55,6 +57,7 @@ commands:
   watch     stream a job's NDJSON frames:  pcnctl watch <id>
   cancel    cancel a job:                  pcnctl cancel <id>
   result    print a finished job's report: pcnctl result <id>
+  query     aggregate stored results:      pcnctl query [-where ...] [-by ...] -agg ...
 `
 
 // run is the testable entry point: it parses the global flags and
@@ -120,6 +123,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		return c.copyBody(stdout, "/api/v1/jobs/"+id+"/result")
+	case "query":
+		return c.query(rest, stdout, stderr)
 	default:
 		fmt.Fprint(stderr, usage)
 		return fmt.Errorf("unknown command %q", cmd)
@@ -300,6 +305,114 @@ func (c *client) submit(args []string, stdout, stderr io.Writer) error {
 	// the service's stored bytes, identical to pcnsim -json output.
 	return c.copyBody(stdout, "/api/v1/jobs/"+view.ID+"/result")
 }
+
+// query builds an analytics query from the flag surface, posts it to
+// /query, and prints the response document verbatim — the service's
+// bytes, which are deterministic for a given stored sweep (the CI golden
+// diff and restart byte-identity checks depend on that verbatim copy).
+func (c *client) query(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcnctl query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var where multiFlag
+	fs.Var(&where, "where",
+		"row filter `column OP value` (repeatable, ANDed; OP: = != < <= > >=)")
+	by := fs.String("by", "", "comma-separated group-by columns")
+	agg := fs.String("agg", "count",
+		"comma-separated aggregates: count or op(column) with op mean, min, max, p50, p95, p99")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("query: unexpected operand %q", fs.Arg(0))
+	}
+
+	req := results.Request{Schema: results.QuerySchema}
+	for _, w := range where {
+		f, err := parseFilter(w)
+		if err != nil {
+			return err
+		}
+		req.Filter = append(req.Filter, f)
+	}
+	if *by != "" {
+		for _, col := range strings.Split(*by, ",") {
+			req.GroupBy = append(req.GroupBy, strings.TrimSpace(col))
+		}
+	}
+	for _, a := range strings.Split(*agg, ",") {
+		parsed, err := parseAggregate(a)
+		if err != nil {
+			return err
+		}
+		req.Aggregates = append(req.Aggregates, parsed)
+	}
+	// Validate locally for immediate, enumerate-the-valid-names errors;
+	// the service re-validates anyway.
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.printJSON(stdout, "POST", "/query", body)
+}
+
+// parseFilter parses one -where operand, "column OP value". The value's
+// type follows the column: string columns take the literal verbatim,
+// numeric columns require a number.
+func parseFilter(s string) (results.Filter, error) {
+	for _, o := range []struct{ tok, op string }{
+		{"<=", "le"}, {">=", "ge"}, {"!=", "ne"}, {"=", "eq"}, {"<", "lt"}, {">", "gt"},
+	} {
+		i := strings.Index(s, o.tok)
+		if i <= 0 {
+			continue
+		}
+		col := strings.TrimSpace(s[:i])
+		val := strings.TrimSpace(s[i+len(o.tok):])
+		kind, err := results.ColumnKind(col)
+		if err != nil {
+			return results.Filter{}, err
+		}
+		f := results.Filter{Column: col, Op: o.op}
+		if kind == results.KindString {
+			f.Value = val
+		} else {
+			num, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return results.Filter{}, fmt.Errorf(
+					"filter %q: column %s is numeric but %q is not a number", s, col, val)
+			}
+			f.Value = num
+		}
+		return f, nil
+	}
+	return results.Filter{}, fmt.Errorf(
+		"filter %q is not column OP value (OP: = != < <= > >=)", s)
+}
+
+// parseAggregate parses one -agg element: "count" or "op(column)".
+func parseAggregate(s string) (results.Aggregate, error) {
+	s = strings.TrimSpace(s)
+	if s == "count" {
+		return results.Aggregate{Op: "count"}, nil
+	}
+	op, rest, ok := strings.Cut(s, "(")
+	if !ok || !strings.HasSuffix(rest, ")") {
+		return results.Aggregate{}, fmt.Errorf("aggregate %q is not count or op(column)", s)
+	}
+	return results.Aggregate{
+		Op:     strings.TrimSpace(op),
+		Column: strings.TrimSpace(strings.TrimSuffix(rest, ")")),
+	}, nil
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 // follow consumes a job's NDJSON stream to its terminal state,
 // reattaching (bounded by -retries) when the stream drops: a crashed or

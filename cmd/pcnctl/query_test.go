@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/results"
+	"repro/internal/server"
+)
+
+func TestParseFilter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want results.Filter
+	}{
+		{"scenario = baseline", results.Filter{Column: "scenario", Op: "eq", Value: "baseline"}},
+		{"d<=3", results.Filter{Column: "d", Op: "le", Value: float64(3)}},
+		{"d >= 2", results.Filter{Column: "d", Op: "ge", Value: float64(2)}},
+		{"total_cost != 0", results.Filter{Column: "total_cost", Op: "ne", Value: float64(0)}},
+		{"q < 0.1", results.Filter{Column: "q", Op: "lt", Value: 0.1}},
+		{"calls > 100", results.Filter{Column: "calls", Op: "gt", Value: float64(100)}},
+		// A string column's value is taken verbatim, even if numeric-looking.
+		{"job = j000001", results.Filter{Column: "job", Op: "eq", Value: "j000001"}},
+	}
+	for _, tc := range cases {
+		got, err := parseFilter(tc.in)
+		if err != nil {
+			t.Errorf("parseFilter(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseFilter(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+
+	for _, tc := range []struct {
+		in      string
+		wantSub string
+	}{
+		{"scenario baseline", "not column OP value"},
+		{"= baseline", "not column OP value"},
+		{"nope = 1", "valid columns:"},
+		{"d = three", "not a number"},
+	} {
+		if _, err := parseFilter(tc.in); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("parseFilter(%q) error %v, want substring %q", tc.in, err, tc.wantSub)
+		}
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want results.Aggregate
+	}{
+		{"count", results.Aggregate{Op: "count"}},
+		{" count ", results.Aggregate{Op: "count"}},
+		{"mean(total_cost)", results.Aggregate{Op: "mean", Column: "total_cost"}},
+		{"p95( delay_p95 )", results.Aggregate{Op: "p95", Column: "delay_p95"}},
+	} {
+		got, err := parseAggregate(tc.in)
+		if err != nil {
+			t.Errorf("parseAggregate(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseAggregate(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	for _, in := range []string{"mean", "mean(total_cost", "mean total_cost)"} {
+		if _, err := parseAggregate(in); err == nil ||
+			!strings.Contains(err.Error(), "not count or op(column)") {
+			t.Errorf("parseAggregate(%q) error %v", in, err)
+		}
+	}
+}
+
+// TestQuerySubcommand drives pcnctl query against a live service: run a
+// sweep of two thresholds, then group by d and check the aggregate
+// document that comes back verbatim.
+func TestQuerySubcommand(t *testing.T) {
+	store := results.NewStore()
+	mgr := jobs.New(jobs.Options{QueueDepth: 8, Workers: 2, Results: store})
+	srv := httptest.NewServer(server.New(mgr, server.Options{Results: store}))
+	t.Cleanup(func() {
+		srv.Close()
+		_ = mgr.Shutdown(context.Background())
+	})
+	url := srv.URL
+
+	var stdout, stderr bytes.Buffer
+	for _, d := range []string{"1", "2"} {
+		stdout.Reset()
+		args := []string{"-addr", url, "submit",
+			"-terminals", "10", "-slots", "2000", "-shards", "2", "-d", d, "-wait"}
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatalf("submit -d %s: %v", d, err)
+		}
+	}
+
+	stdout.Reset()
+	args := []string{"-addr", url, "query",
+		"-where", "d <= 2", "-by", "d", "-agg", "count,mean(total_cost)"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	var resp results.Response
+	if err := json.Unmarshal(stdout.Bytes(), &resp); err != nil {
+		t.Fatalf("query output is not a response document: %v\n%s", err, stdout.String())
+	}
+	if resp.RowsScanned != 2 || resp.RowsMatched != 2 || len(resp.Groups) != 2 {
+		t.Fatalf("query response: %s", stdout.String())
+	}
+	if want := []string{"count", "mean(total_cost)"}; resp.Aggregates[0] != want[0] ||
+		resp.Aggregates[1] != want[1] {
+		t.Fatalf("aggregate labels: %v", resp.Aggregates)
+	}
+
+	// Local validation rejects malformed queries before any HTTP.
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-addr", url, "query", "-where", "bogus"}, "not column OP value"},
+		{[]string{"-addr", url, "query", "-where", "nope = 1"}, "valid columns:"},
+		{[]string{"-addr", url, "query", "-by", "total_cost"}, "valid dimensions:"},
+		{[]string{"-addr", url, "query", "-agg", "median(total_cost)"}, "valid ops:"},
+		{[]string{"-addr", url, "query", "extra"}, "unexpected operand"},
+	} {
+		stdout.Reset()
+		err := run(tc.args, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%v: error %v, want substring %q", tc.args[2:], err, tc.want)
+		}
+	}
+}

@@ -30,11 +30,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/results"
 	"repro/internal/server"
 )
 
@@ -73,13 +75,30 @@ func main() {
 		log.Fatal("-checkpoint-every requires -data-dir")
 	}
 
+	// The analytics table: every done job flattens into it and POST
+	// /query answers from it. With -data-dir the table itself persists
+	// beside the journal (and loads back instantly on restart); the
+	// journal replay below backfills whatever the table file lacks.
+	store := results.NewStore()
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		var err error
+		store, err = results.Open(filepath.Join(*dataDir, "results.table.json"))
+		if err != nil {
+			log.Fatalf("results table: %v", err)
+		}
+	}
+
 	mgr := jobs.New(jobs.Options{
 		QueueDepth:      *queue,
 		Workers:         *workers,
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpointEvery,
+		Results:         store,
 	})
-	srv := server.New(mgr, server.Options{StreamInterval: *streamInterval})
+	srv := server.New(mgr, server.Options{StreamInterval: *streamInterval, Results: store})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -102,8 +121,9 @@ func main() {
 			log.Fatalf("journal recovery: %v", err)
 		}
 		st := mgr.Stats()
-		log.Printf("recovered journal in %v: %d records replayed, %d jobs re-enqueued",
-			time.Since(start).Round(time.Millisecond), st.ReplayedRecords, st.RecoveredJobs)
+		log.Printf("recovered journal in %v: %d records replayed, %d jobs re-enqueued, %d analytics rows backfilled (%d in table)",
+			time.Since(start).Round(time.Millisecond), st.ReplayedRecords, st.RecoveredJobs,
+			st.ResultsBackfilled, st.ResultRows)
 	}
 
 	sigc := make(chan os.Signal, 1)

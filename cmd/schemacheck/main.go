@@ -5,6 +5,7 @@
 //	pcnsim -terminals 200 -slots 2000 -telemetry-every 500 -json | schemacheck
 //	pcnctl get j000001 | schemacheck -kind job
 //	schemacheck -kind journal < data/journal.ndjson
+//	pcnctl query -by scenario -agg count | schemacheck -kind queryresult
 //
 // "report" (the default) is a pcnsim -json / pcnserve result document:
 // it must decode into locman.Report with no unknown fields and satisfy
@@ -13,9 +14,12 @@
 // pcnserve durable job journal (checksummed NDJSON), validated
 // strictly: every record must carry a valid checksum, a strictly
 // increasing sequence number, and a well-formed payload — the check the
-// service itself applies leniently (longest valid prefix) at boot. CI
-// pipes smoke runs of all three through it so any drift between the
-// emitted documents and the published schemas fails the build.
+// service itself applies leniently (longest valid prefix) at boot.
+// "queryresult" is a pcnserve POST /query response, checked for schema,
+// positional key/value consistency, strictly ascending group order and
+// count-sum consistency. CI pipes smoke runs of all four through it so
+// any drift between the emitted documents and the published schemas
+// fails the build.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"os"
 
 	"repro/internal/jobs"
+	"repro/internal/results"
 	"repro/locman"
 )
 
@@ -35,7 +40,7 @@ func main() {
 	log.SetPrefix("schemacheck: ")
 
 	kind := flag.String("kind", "report",
-		"document kind on stdin: report (pcnsim -json), job (pcnserve job document), or journal (pcnserve job journal)")
+		"document kind on stdin: report (pcnsim -json), job (pcnserve job document), journal (pcnserve job journal), or queryresult (pcnserve /query response)")
 	flag.Parse()
 
 	if *kind == "journal" {
@@ -75,8 +80,18 @@ func main() {
 		}
 		fmt.Printf("ok: schema %d, job %s %s, %d/%d terminal-slots\n",
 			v.Schema, v.ID, v.State, v.TerminalSlots, v.TotalTerminalSlots)
+	case "queryresult":
+		var q results.Response
+		if err := dec.Decode(&q); err != nil {
+			log.Fatalf("document does not match results.Response: %v", err)
+		}
+		if err := checkQueryResult(&q); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ok: schema %d, %d/%d rows matched, %d groups × %d aggregates\n",
+			q.Schema, q.RowsMatched, q.RowsScanned, len(q.Groups), len(q.Aggregates))
 	default:
-		log.Fatalf("unknown -kind %q (valid kinds: report, job, journal)", *kind)
+		log.Fatalf("unknown -kind %q (valid kinds: report, job, journal, queryresult)", *kind)
 	}
 }
 
@@ -135,6 +150,131 @@ func checkJob(v *jobs.View) error {
 			v.TerminalSlots, v.TotalTerminalSlots)
 	}
 	return nil
+}
+
+// checkQueryResult enforces the invariants every well-formed /query
+// response satisfies: a current schema, known group-by columns with
+// kind-consistent key values, well-formed aggregate labels, positional
+// key/value widths, groups in strictly ascending key order (the
+// determinism guarantee made visible), and count aggregates that sum
+// back to rows_matched.
+func checkQueryResult(q *results.Response) error {
+	if q.Schema != results.QuerySchema {
+		return fmt.Errorf("schema %d, want %d", q.Schema, results.QuerySchema)
+	}
+	if q.RowsMatched < 0 || q.RowsMatched > q.RowsScanned {
+		return fmt.Errorf("rows_matched %d outside [0, rows_scanned %d]", q.RowsMatched, q.RowsScanned)
+	}
+	kinds := make([]results.Kind, len(q.GroupBy))
+	for i, col := range q.GroupBy {
+		k, err := results.ColumnKind(col)
+		if err != nil {
+			return fmt.Errorf("group_by[%d]: %v", i, err)
+		}
+		kinds[i] = k
+	}
+	if len(q.Aggregates) == 0 {
+		return fmt.Errorf("no aggregates")
+	}
+	counts := make([]int64, len(q.Aggregates)) // summed count(...) values
+	countIdx := -1
+	for j, label := range q.Aggregates {
+		a, err := parseLabel(label)
+		if err != nil {
+			return err
+		}
+		if a.Op == "count" {
+			countIdx = j
+		}
+	}
+	for gi, g := range q.Groups {
+		if len(g.Key) != len(q.GroupBy) {
+			return fmt.Errorf("group %d: key width %d != group_by width %d", gi, len(g.Key), len(q.GroupBy))
+		}
+		if len(g.Values) != len(q.Aggregates) {
+			return fmt.Errorf("group %d: %d values != %d aggregates", gi, len(g.Values), len(q.Aggregates))
+		}
+		for i, kv := range g.Key {
+			_, isStr := kv.(string)
+			_, isNum := kv.(float64)
+			if kinds[i] == results.KindString && !isStr {
+				return fmt.Errorf("group %d: key %q is %T, want string", gi, q.GroupBy[i], kv)
+			}
+			if kinds[i] != results.KindString && !isNum {
+				return fmt.Errorf("group %d: key %q is %T, want number", gi, q.GroupBy[i], kv)
+			}
+		}
+		if gi > 0 && !keyLess(q.Groups[gi-1].Key, g.Key) {
+			return fmt.Errorf("group %d: key %v not after %v (groups must sort strictly ascending)",
+				gi, g.Key, q.Groups[gi-1].Key)
+		}
+		for j, v := range g.Values {
+			if v == nil {
+				continue // no finite result for this aggregate
+			}
+			n, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("group %d: value %d is %T, want number or null", gi, j, v)
+			}
+			if j == countIdx {
+				if n < 1 || n != float64(int64(n)) {
+					return fmt.Errorf("group %d: count %v is not a positive integer", gi, n)
+				}
+				counts[j] += int64(n)
+			}
+		}
+	}
+	if countIdx >= 0 && counts[countIdx] != int64(q.RowsMatched) {
+		return fmt.Errorf("count aggregates sum to %d, want rows_matched %d",
+			counts[countIdx], q.RowsMatched)
+	}
+	return nil
+}
+
+// parseLabel validates one aggregate label, "count" or "op(column)".
+func parseLabel(label string) (results.Aggregate, error) {
+	if label == "count" {
+		return results.Aggregate{Op: "count"}, nil
+	}
+	open := -1
+	for i := range label {
+		if label[i] == '(' {
+			open = i
+			break
+		}
+	}
+	if open <= 0 || label[len(label)-1] != ')' {
+		return results.Aggregate{}, fmt.Errorf("aggregate label %q is not count or op(column)", label)
+	}
+	a := results.Aggregate{Op: label[:open], Column: label[open+1 : len(label)-1]}
+	switch a.Op {
+	case "mean", "min", "max", "p50", "p95", "p99":
+	default:
+		return results.Aggregate{}, fmt.Errorf("aggregate label %q has unknown op %q", label, a.Op)
+	}
+	if _, err := results.ColumnKind(a.Column); err != nil {
+		return results.Aggregate{}, fmt.Errorf("aggregate label %q: %v", label, err)
+	}
+	return a, nil
+}
+
+// keyLess orders two group keys the way the service sorts them.
+func keyLess(a, b []any) bool {
+	for i := range a {
+		switch av := a[i].(type) {
+		case string:
+			bv, _ := b[i].(string)
+			if av != bv {
+				return av < bv
+			}
+		case float64:
+			bv, _ := b[i].(float64)
+			if av != bv {
+				return av < bv
+			}
+		}
+	}
+	return false
 }
 
 // check enforces the invariants every well-formed report satisfies.

@@ -1,0 +1,110 @@
+package jobs
+
+import (
+	"math"
+
+	"repro/internal/results"
+	"repro/locman"
+)
+
+// ResultRow flattens one done job — the configuration it resolved to and
+// its final report — into the analytics table's row shape. The knobs
+// come from the Spec's resolved NetworkConfig (scenario defaults
+// applied, zero-value meanings spelled out: nil scheme is "distance",
+// nil partition "sdf", shards 0 the GOMAXPROCS resolution), the metrics
+// from the report.
+//
+// The same flattening serves the live done edge (in-memory report) and
+// the recovery backfill (report decoded from the journaled result
+// bytes); encoding/json round-trips every float bit-for-bit, so the two
+// paths produce identical rows — the restart byte-identity guarantee
+// rests on that.
+func ResultRow(id string, spec Spec, report *locman.Report) (results.Row, error) {
+	cfg, err := spec.NetworkConfig()
+	if err != nil {
+		return results.Row{}, err
+	}
+	row := results.Row{
+		Job:       id,
+		Scenario:  spec.Scenario,
+		Scheme:    "distance",
+		Engine:    cfg.Engine.String(),
+		Model:     modelName(cfg.Model),
+		Partition: "sdf",
+		D:         int64(cfg.Threshold),
+		Q:         cfg.MoveProb,
+		C:         cfg.CallProb,
+		U:         cfg.UpdateCost,
+		V:         cfg.PollCost,
+		M:         int64(cfg.MaxDelay),
+		Terminals: int64(report.Terminals),
+		Slots:     report.Slots,
+		Shards:    int64(spec.ResolvedShards()),
+		Seed:      int64(spec.Seed),
+
+		Updates:         report.Updates,
+		LostUpdates:     report.LostUpdates,
+		Retransmissions: report.Retransmissions,
+		Acks:            report.Acks,
+		OutageDeferred:  report.OutageDeferred,
+		Calls:           report.Calls,
+		PolledCells:     report.PolledCells,
+		DroppedCalls:    report.DroppedCalls,
+		RePolls:         report.RePolls,
+		FallbackCalls:   report.FallbackCalls,
+		LostPolls:       report.LostPolls,
+		LostReplies:     report.LostReplies,
+		NotFound:        report.NotFound,
+		UpdateBytes:     report.UpdateBytes,
+		PollBytes:       report.PollBytes,
+		ReplyBytes:      report.ReplyBytes,
+		AckBytes:        report.AckBytes,
+		Events:          int64(report.Events),
+
+		UpdateCost: report.UpdateCost,
+		PagingCost: report.PagingCost,
+		TotalCost:  report.TotalCost,
+
+		DelayMean:    report.Delay.Mean,
+		DelayMax:     report.Delay.Max,
+		RecoveryMean: report.Recovery.Mean,
+		RecoveryMax:  report.Recovery.Max,
+	}
+	if cfg.Dynamic {
+		row.Dynamic = 1
+	}
+	if cfg.Scheme != nil {
+		row.Scheme = cfg.Scheme.Name()
+		row.SchemeParam = cfg.Scheme.Param()
+	}
+	if cfg.Partition != nil {
+		row.Partition = cfg.Partition.Name()
+	}
+	// The percentile columns carry the report's histogram-derived values
+	// verbatim; a report without histograms (hand-built metrics) has no
+	// percentiles, which the table spells NaN ("not measured" — every
+	// aggregate skips it).
+	row.DelayP50, row.DelayP95, row.DelayP99 = histQuantiles(report.DelayHist)
+	row.RecoveryP50, row.RecoveryP95, row.RecoveryP99 = histQuantiles(report.RecoveryHist)
+	return row, nil
+}
+
+func histQuantiles(h *locman.HistReport) (p50, p95, p99 float64) {
+	if h == nil {
+		nan := math.NaN()
+		return nan, nan, nan
+	}
+	return h.P50, h.P95, h.P99
+}
+
+// modelName names the mobility model the way Spec.Model spells it.
+func modelName(m locman.Model) string {
+	switch m {
+	case locman.OneDimensional:
+		return "1d"
+	case locman.TwoDimensionalApprox:
+		return "2d-approx"
+	default:
+		return "2d"
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/results"
 	"repro/internal/telemetry"
 	"repro/locman"
 )
@@ -71,6 +72,12 @@ type Options struct {
 	// recovery — the result is byte-identical either way, resumption
 	// only saves the already-simulated slots.
 	CheckpointEvery int64
+	// Results, when non-nil, receives every done job flattened into the
+	// analytics table (ResultRow): live on the done edge, and backfilled
+	// from the journaled result bytes during Recover — so after recovery
+	// the table holds exactly the done jobs, however the process got
+	// there.
+	Results *results.Store
 }
 
 // job is the Manager's internal record of one submission. All mutable
@@ -138,6 +145,10 @@ type Manager struct {
 	ckptWritten   int64 // checkpoint files persisted
 	ckptFallbacks int64 // unusable checkpoints that forced a clean run
 	journalErrs   int64 // failed journal/checkpoint writes (best-effort)
+
+	// Results-store counters (zero without Options.Results).
+	resultsBackfilled int64 // rows rebuilt from the journal at boot
+	resultsErrs       int64 // rows that failed to flatten, ingest or persist
 }
 
 // New starts a Manager. Without a DataDir the worker pool starts
@@ -295,6 +306,7 @@ func (m *Manager) Recover() error {
 		default:
 			if j.state == StateDone {
 				j.doneSlots = j.spec.Slots * int64(j.spec.Terminals)
+				m.backfillResultLocked(j)
 			}
 			close(j.done)
 		}
@@ -398,7 +410,6 @@ func (m *Manager) runJob(j *job) {
 	report, raw, runErr := m.runSpec(ctx, j.id, spec, prog)
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.busy--
 	j.finished = m.opts.Clock()
 	j.cancel = nil
@@ -430,6 +441,56 @@ func (m *Manager) runJob(j *job) {
 	// A terminal job's checkpoint is dead weight; a fresh run of a
 	// resubmitted id must also never see a stale one.
 	m.removeCheckpointLocked(j.id)
+	done := j.state == StateDone
+	m.mu.Unlock()
+
+	// Flatten the done job into the analytics table outside the manager
+	// lock: a persistence-backed store fsyncs its table file per ingest,
+	// and that I/O must not stall the whole job table.
+	if done && m.opts.Results != nil {
+		if err := m.ingestResult(j.id, spec, report); err != nil {
+			m.mu.Lock()
+			m.resultsErrs++
+			m.mu.Unlock()
+		}
+	}
+}
+
+// ingestResult flattens one done job into the results store. A
+// duplicate is success — the row is already there (a journal replay
+// racing a live edge, a resubmitted recovery), and the table's content
+// for a job id never changes once ingested.
+func (m *Manager) ingestResult(id string, spec Spec, report *locman.Report) error {
+	row, err := ResultRow(id, spec, report)
+	if err == nil {
+		err = m.opts.Results.Ingest(row)
+	}
+	if errors.Is(err, results.ErrDuplicateJob) {
+		return nil
+	}
+	return err
+}
+
+// backfillResultLocked rebuilds a recovered done job's analytics row
+// from its journaled result bytes. Runs under the manager lock during
+// Recover — before the recovering flag clears — so a /readyz 200
+// implies the table already answers for every recovered job. Jobs the
+// store already holds (its own persistence file loaded them) are left
+// alone and not counted.
+func (m *Manager) backfillResultLocked(j *job) {
+	if m.opts.Results == nil || m.opts.Results.Has(j.id) {
+		return
+	}
+	var report locman.Report
+	if err := json.Unmarshal(j.resultJSON, &report); err != nil {
+		m.resultsErrs++
+		return
+	}
+	if err := m.ingestResult(j.id, j.spec, &report); err != nil {
+		m.resultsErrs++
+		return
+	}
+	m.resultsBackfilled++
 }
 
 // runSpec is the deterministic heart of the worker: exactly the engine
@@ -748,6 +809,12 @@ type Stats struct {
 	CheckpointsWritten  int64
 	CheckpointFallbacks int64
 	JournalErrors       int64
+	// Results-store state (zero without Options.Results): rows the
+	// analytics table currently holds, rows rebuilt from the journal at
+	// the last boot, and rows that failed to flatten, ingest or persist.
+	ResultRows        int64
+	ResultsBackfilled int64
+	ResultsErrors     int64
 }
 
 // Stats returns the current operational snapshot.
@@ -767,6 +834,11 @@ func (m *Manager) Stats() Stats {
 		CheckpointsWritten:  m.ckptWritten,
 		CheckpointFallbacks: m.ckptFallbacks,
 		JournalErrors:       m.journalErrs,
+		ResultsBackfilled:   m.resultsBackfilled,
+		ResultsErrors:       m.resultsErrs,
+	}
+	if m.opts.Results != nil {
+		st.ResultRows = int64(m.opts.Results.Len())
 	}
 	if m.journal != nil {
 		st.JournalBytes = m.journal.Size()

@@ -1,0 +1,62 @@
+package results
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzQueryDecode holds the /query request decoder to its contract:
+// arbitrary bytes either decode into a validated request — which must
+// then evaluate cleanly against a table — or return an error; never a
+// panic. The seed corpus covers the malformed-filter, huge-group-by and
+// duplicate-aggregate shapes, plus valid documents so the fuzzer
+// mutates from both sides of the boundary.
+func FuzzQueryDecode(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`null`,
+		`"aggregates"`,
+		`[{"op":"count"}]`,
+		`{"aggregates":[{"op":"count"}]}`,
+		`{"schema":1,"filter":[{"column":"d","op":"le","value":3}],"group_by":["scenario","d"],"aggregates":[{"op":"count"},{"op":"mean","column":"total_cost"}]}`,
+		`{"filter":[{"column":"nope","op":"eq","value":"x"}],"aggregates":[{"op":"count"}]}`,
+		`{"filter":[{"column":"d","op":"eq","value":{"deep":[1,2]}}],"aggregates":[{"op":"count"}]}`,
+		`{"filter":[{"column":"scenario","op":"like","value":"%a%"}],"aggregates":[{"op":"count"}]}`,
+		`{"group_by":["d","d"],"aggregates":[{"op":"count"}]}`,
+		`{"group_by":["total_cost"],"aggregates":[{"op":"count"}]}`,
+		`{"group_by":["` + strings.Repeat(`x","`, 500) + `y"],"aggregates":[{"op":"count"}]}`,
+		`{"aggregates":[{"op":"p50","column":"delay_p50"},{"op":"p50","column":"delay_p50"}]}`,
+		`{"aggregates":[{"op":"count","column":"d"}]}`,
+		`{"aggregates":[{"op":"mean","column":"scenario"}]}`,
+		`{"schema":-1,"aggregates":[{"op":"count"}]}`,
+		`{"aggregates":[{"op":"count"}]} trailing`,
+		`{"unknown_field":true,"aggregates":[{"op":"count"}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	// Two small tables to evaluate decoded requests against: empty, and
+	// a few rows with NaN metrics.
+	filled := NewStore()
+	for _, r := range fourRows() {
+		if err := filled.Ingest(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	empty := NewStore()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		// A request that decoded and validated must evaluate without
+		// error on any table.
+		for _, s := range []*Store{empty, filled} {
+			if _, qerr := s.Query(req); qerr != nil {
+				t.Fatalf("validated request failed to evaluate: %v\nrequest: %s", qerr, data)
+			}
+		}
+	})
+}

@@ -122,4 +122,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP pcnserve_journal_errors_total Failed best-effort journal or checkpoint writes.\n")
 	fmt.Fprintf(w, "# TYPE pcnserve_journal_errors_total counter\n")
 	fmt.Fprintf(w, "pcnserve_journal_errors_total %d\n", st.JournalErrors)
+	fmt.Fprintf(w, "# HELP pcnserve_results_rows Rows in the analytics results table (one per done job).\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_results_rows gauge\n")
+	fmt.Fprintf(w, "pcnserve_results_rows %d\n", st.ResultRows)
+	fmt.Fprintf(w, "# HELP pcnserve_results_backfilled_total Analytics rows rebuilt from the journal during the last boot recovery.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_results_backfilled_total counter\n")
+	fmt.Fprintf(w, "pcnserve_results_backfilled_total %d\n", st.ResultsBackfilled)
+	fmt.Fprintf(w, "# HELP pcnserve_results_errors_total Analytics rows that failed to flatten, ingest or persist.\n")
+	fmt.Fprintf(w, "# TYPE pcnserve_results_errors_total counter\n")
+	fmt.Fprintf(w, "pcnserve_results_errors_total %d\n", st.ResultsErrors)
 }

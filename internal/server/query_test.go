@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+	"repro/internal/results"
+)
+
+// TestQueryEndpoint drives the analytics path end to end over HTTP: a
+// job submitted and completed through the API must be answerable via
+// POST /query, with the validation errors surfacing as 400s.
+func TestQueryEndpoint(t *testing.T) {
+	store := results.NewStore()
+	srv, _ := newTestServer(t,
+		jobs.Options{QueueDepth: 4, Workers: 1, Results: store},
+		Options{Results: store})
+
+	status, raw := doJSON(t, http.MethodPost, srv.URL+"/api/v1/jobs", testSpec())
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, raw)
+	}
+	var v jobs.View
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	if final := waitDone(t, srv.URL, v.ID); final.State != jobs.StateDone {
+		t.Fatalf("job finished %s (%s)", final.State, final.Error)
+	}
+
+	query := map[string]any{
+		"schema":     results.QuerySchema,
+		"filter":     []map[string]any{{"column": "job", "op": "eq", "value": v.ID}},
+		"group_by":   []string{"scenario", "d"},
+		"aggregates": []map[string]any{{"op": "count"}, {"op": "mean", "column": "total_cost"}},
+	}
+	status, raw = doJSON(t, http.MethodPost, srv.URL+"/query", query)
+	if status != http.StatusOK {
+		t.Fatalf("query: status %d: %s", status, raw)
+	}
+	var resp results.Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, raw)
+	}
+	if resp.Schema != results.QuerySchema || resp.RowsScanned != 1 || resp.RowsMatched != 1 {
+		t.Fatalf("response = %s", raw)
+	}
+	if len(resp.Groups) != 1 || resp.Groups[0].Values[0] != float64(1) {
+		t.Fatalf("groups = %s", raw)
+	}
+
+	// Validation failures surface as 400 with the enumerating message.
+	for name, body := range map[string]string{
+		"unknown column": `{"filter":[{"column":"nope","op":"eq","value":1}],"aggregates":[{"op":"count"}]}`,
+		"no aggregates":  `{"group_by":["d"]}`,
+		"metric grouped": `{"group_by":["total_cost"],"aggregates":[{"op":"count"}]}`,
+		"not json":       `{{{`,
+	} {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/query", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, hr.StatusCode)
+		}
+	}
+
+	// GET is not part of the endpoint's contract.
+	status, _ = doJSON(t, http.MethodGet, srv.URL+"/query", nil)
+	if status != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query: status %d, want 405", status)
+	}
+}
+
+// TestQueryEndpointDisabled: a server without a results store refuses
+// queries instead of answering from nothing.
+func TestQueryEndpointDisabled(t *testing.T) {
+	srv, _ := newTestServer(t, jobs.Options{QueueDepth: 4, Workers: 1}, Options{})
+	status, raw := doJSON(t, http.MethodPost, srv.URL+"/query",
+		map[string]any{"aggregates": []map[string]any{{"op": "count"}}})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("query without store: status %d: %s", status, raw)
+	}
+}

@@ -13,12 +13,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/results"
 	"repro/internal/telemetry"
 )
 
@@ -29,6 +31,10 @@ type Options struct {
 	StreamInterval time.Duration
 	// Clock stamps the metrics rate window; nil means time.Now.
 	Clock func() time.Time
+	// Results is the analytics table POST /query answers from — the same
+	// store the manager ingests done jobs into. Nil disables the endpoint
+	// (503), for deployments that run the manager without analytics.
+	Results *results.Store
 }
 
 // Server serves the job API for one jobs.Manager.
@@ -66,6 +72,7 @@ func New(mgr *jobs.Manager, opts Options) *Server {
 	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -171,6 +178,36 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(raw)
+}
+
+// handleQuery answers an analytics query against the results table. The
+// response is deterministic for a given table content (canonical row
+// order, sorted groups — see the results package), so two daemons over
+// the same completed sweep answer byte-identically; the CI restart leg
+// holds pcnserve to that across a journal-replay reboot.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Results == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": "results store not configured"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("reading query request: %v", err)})
+		return
+	}
+	req, err := results.DecodeRequest(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	resp, err := s.opts.Results.Query(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
