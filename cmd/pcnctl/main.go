@@ -58,6 +58,7 @@ commands:
   cancel    cancel a job:                  pcnctl cancel <id>
   result    print a finished job's report: pcnctl result <id>
   query     aggregate stored results:      pcnctl query [-where ...] [-by ...] -agg ...
+  nodes     print a coordinator's cluster document (nodes, leases)
 `
 
 // run is the testable entry point: it parses the global flags and
@@ -116,7 +117,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return c.copyBody(stdout, "/api/v1/jobs/"+id+"/stream")
+		return c.watch(id, stdout, stderr)
+	case "nodes":
+		if len(rest) != 0 {
+			return fmt.Errorf("usage: pcnctl nodes")
+		}
+		return c.printJSON(stdout, "GET", "/cluster", nil)
 	case "result":
 		id, err := oneID(cmd, rest)
 		if err != nil {
@@ -484,6 +490,60 @@ func (c *client) followOnce(id string, stderr io.Writer) (jobs.State, bool, erro
 		return last, true, fmt.Errorf("watch %s: %w", id, err)
 	}
 	return last, true, fmt.Errorf("watch %s: %w", id, errStreamEnded)
+}
+
+// watch copies a job's NDJSON stream to stdout with the same
+// reattach policy follow uses: a dropped or 404/503'd stream is
+// reattached (bounded by -retries) once it had attached at all. The
+// coordinator-proxied case is why: while a cluster coordinator
+// re-dispatches a dead worker's slice — or restarts and replays its
+// journal — the stream can drop or briefly answer 503, but the job
+// itself is fine, so the watcher should ride it out.
+func (c *client) watch(id string, stdout, stderr io.Writer) error {
+	attached := false
+	return c.retrying(
+		func(err error) bool {
+			if !attached {
+				return transient(err)
+			}
+			return reattachable(err)
+		},
+		func() error {
+			ok, err := c.watchOnce(id, stdout)
+			attached = attached || ok
+			if err != nil && attached {
+				fmt.Fprintf(stderr, "%s: stream dropped (%v), reattaching\n", id, err)
+			}
+			return err
+		})
+}
+
+// watchOnce attaches once, copying frames verbatim until the terminal
+// result frame; the bool reports whether the attach succeeded.
+func (c *client) watchOnce(id string, stdout io.Writer) (bool, error) {
+	resp, err := c.do("GET", "/api/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f server.StreamFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return true, fmt.Errorf("watch %s: bad frame %q: %w", id, sc.Text(), err)
+		}
+		if _, err := fmt.Fprintf(stdout, "%s\n", sc.Bytes()); err != nil {
+			return true, err
+		}
+		if f.Type == "result" {
+			return true, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return true, fmt.Errorf("watch %s: %w", id, err)
+	}
+	return true, fmt.Errorf("watch %s: %w", id, errStreamEnded)
 }
 
 // parseOutages parses comma-separated start:end slot windows, matching

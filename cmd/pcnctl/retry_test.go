@@ -186,6 +186,106 @@ func TestFollowReattachesAcrossStreamDrops(t *testing.T) {
 	}
 }
 
+// TestWatchReattachesDuringRedispatch drives watch through the stream
+// lives a cluster coordinator produces: while a dead worker's slice is
+// being re-dispatched (or the coordinator itself restarts and replays
+// its journal), an open telemetry stream drops and fresh attaches can
+// briefly answer 503. The reattach policy must ride those out, and must
+// still fail fast on statuses that mean "the client is wrong".
+func TestWatchReattachesDuringRedispatch(t *testing.T) {
+	const progressLine = `{"type":"progress","job":"j000001","state":"running","terminal_slots":10,"total_terminal_slots":100}`
+	const resultLine = `{"type":"result","job":"j000001","state":"done"}`
+	type step struct {
+		status int      // non-zero: fail the attach with this status
+		lines  []string // otherwise: emit these frames, then drop
+	}
+	for _, tc := range []struct {
+		name      string
+		steps     []step
+		retries   int
+		wantCode  int // non-zero: expect a statusError with this code
+		wantCalls int64
+	}{
+		{
+			name: "503-during-redispatch",
+			steps: []step{
+				{lines: []string{progressLine}}, // attached, then the stream drops
+				{status: 503},                   // coordinator busy re-leasing / recovering
+				{lines: []string{progressLine, resultLine}},
+			},
+			retries: 4, wantCalls: 3,
+		},
+		{
+			name:    "503-before-first-attach-fails-fast",
+			steps:   []step{{status: 503}},
+			retries: 4, wantCode: 503, wantCalls: 1,
+		},
+		{
+			name: "retries-exhausted",
+			steps: []step{
+				{lines: []string{progressLine}},
+				{status: 503},
+				{status: 503},
+			},
+			retries: 2, wantCode: 503, wantCalls: 3,
+		},
+		{
+			name: "client-error-mid-stream-not-reattachable",
+			steps: []step{
+				{lines: []string{progressLine}},
+				{status: 409},
+			},
+			retries: 4, wantCode: 409, wantCalls: 2,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int64
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				i := calls.Add(1) - 1
+				if i >= int64(len(tc.steps)) {
+					t.Errorf("unexpected attach %d", i+1)
+					w.WriteHeader(http.StatusTeapot)
+					return
+				}
+				st := tc.steps[i]
+				if st.status != 0 {
+					w.WriteHeader(st.status)
+					fmt.Fprintln(w, `{"error":"redispatching"}`)
+					return
+				}
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				for _, line := range st.lines {
+					fmt.Fprintln(w, line)
+				}
+			}))
+			defer srv.Close()
+
+			c, _ := newRetryClient(srv.URL, tc.retries)
+			var stdout, stderr strings.Builder
+			err := c.watch("j000001", &stdout, &stderr)
+			if tc.wantCode != 0 {
+				var se *statusError
+				if !errors.As(err, &se) || se.code != tc.wantCode {
+					t.Fatalf("err = %v, want a %d statusError", err, tc.wantCode)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("watch: %v\nstderr: %s", err, stderr.String())
+				}
+				if got := strings.Count(stdout.String(), `"type":"result"`); got != 1 {
+					t.Errorf("stdout carries %d result frames, want 1:\n%s", got, stdout.String())
+				}
+				if !strings.Contains(stderr.String(), "reattaching") {
+					t.Errorf("stderr never narrated the reattach: %s", stderr.String())
+				}
+			}
+			if calls.Load() != tc.wantCalls {
+				t.Errorf("stream attached %d times, want %d", calls.Load(), tc.wantCalls)
+			}
+		})
+	}
+}
+
 // TestFollowDoesNotRetryMissingJobOnFirstAttach: a 404 before any
 // successful attach is a real error, not a crash symptom.
 func TestFollowDoesNotRetryMissingJobOnFirstAttach(t *testing.T) {

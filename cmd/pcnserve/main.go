@@ -19,6 +19,17 @@
 // completed results byte-for-byte, re-enqueues interrupted jobs, and
 // resumes them from their last checkpoint — the final report is still
 // byte-identical to an uninterrupted run.
+//
+// Cluster mode distributes single jobs across machines while keeping
+// the same byte-identity guarantee:
+//
+//	pcnserve -coordinator -addr :8080
+//	pcnserve -worker -join http://coord:8080 -advertise http://me:8081 -addr :8081
+//
+// A coordinator accepts ordinary job submissions, slices each job's
+// shard partition across the registered workers, and merges their
+// partial results into a report byte-identical to a single-node run —
+// including when a worker dies mid-job (its slice is re-leased).
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/results"
 	"repro/internal/server"
@@ -57,6 +69,18 @@ func main() {
 		"directory for the durable job journal and run checkpoints; empty disables durability")
 	checkpointEvery := flag.Int64("checkpoint-every", 0,
 		"persist a resumable checkpoint every N simulated slots per running job (requires -data-dir; 0 disables)")
+	coordinator := flag.Bool("coordinator", false,
+		"run as cluster coordinator: accept jobs and fan their shards out to registered workers")
+	worker := flag.Bool("worker", false,
+		"run as cluster worker: serve shard-slice leases from a coordinator (requires -join and -advertise)")
+	join := flag.String("join", "",
+		"coordinator base URL a worker registers with, e.g. http://coord:8080")
+	advertise := flag.String("advertise", "",
+		"base URL at which the coordinator can reach this worker, e.g. http://me:8081")
+	heartbeatEvery := flag.Duration("heartbeat-every", cluster.DefaultHeartbeatEvery,
+		"worker heartbeat cadence")
+	leaseTimeout := flag.Duration("lease-timeout", cluster.DefaultLeaseTimeout,
+		"coordinator declares a slice lease dead after this much stream silence and re-leases it")
 	flag.Parse()
 
 	if *workers <= 0 {
@@ -73,6 +97,20 @@ func main() {
 	}
 	if *checkpointEvery > 0 && *dataDir == "" {
 		log.Fatal("-checkpoint-every requires -data-dir")
+	}
+	if *coordinator && *worker {
+		log.Fatal("-coordinator and -worker are mutually exclusive")
+	}
+	if *worker && (*join == "" || *advertise == "") {
+		log.Fatal("-worker requires -join and -advertise")
+	}
+	if !*worker && (*join != "" || *advertise != "") {
+		log.Fatal("-join and -advertise only apply with -worker")
+	}
+	if *coordinator && *checkpointEvery > 0 {
+		// Distributed runs have no local engine to checkpoint; recovery
+		// re-dispatches interrupted jobs from slot 0.
+		log.Fatal("-checkpoint-every does not apply with -coordinator")
 	}
 
 	// The analytics table: every done job flattens into it and POST
@@ -91,14 +129,44 @@ func main() {
 		}
 	}
 
-	mgr := jobs.New(jobs.Options{
+	// Cluster roles. The coordinator plugs into the manager as its
+	// Runner, so the whole job lifecycle (queue, journal, results,
+	// byte-identical reports) is unchanged — only the simulate step fans
+	// out. A worker is a plain daemon plus the slice lease endpoint; it
+	// registers and heartbeats in the background.
+	var coord *cluster.Coordinator
+	var wrk *cluster.Worker
+	if *coordinator {
+		coord = cluster.NewCoordinator(cluster.NewRegistry(0, nil),
+			cluster.Options{LeaseTimeout: *leaseTimeout})
+	}
+	if *worker {
+		var err error
+		wrk, err = cluster.NewWorker(cluster.WorkerOptions{
+			Join: *join, Advertise: *advertise, HeartbeatEvery: *heartbeatEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	mgrOpts := jobs.Options{
 		QueueDepth:      *queue,
 		Workers:         *workers,
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpointEvery,
 		Results:         store,
+	}
+	if coord != nil {
+		mgrOpts.Runner = coord
+	}
+	mgr := jobs.New(mgrOpts)
+	srv := server.New(mgr, server.Options{
+		StreamInterval: *streamInterval,
+		Results:        store,
+		Cluster:        coord,
+		Worker:         wrk,
 	})
-	srv := server.New(mgr, server.Options{StreamInterval: *streamInterval, Results: store})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -110,6 +178,16 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+
+	// A worker joins its coordinator in the background: registration
+	// retries until the coordinator is reachable, then heartbeats keep
+	// the node alive (re-registering after a coordinator restart).
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	if wrk != nil {
+		go func() { _ = wrk.Run(workerCtx) }()
+		log.Printf("worker joining %s as %s", *join, *advertise)
+	}
 
 	// Journal replay happens after the listener is up so a restarting
 	// daemon answers /readyz ("recovering", 503) and /metrics from the

@@ -17,9 +17,12 @@
 // service itself applies leniently (longest valid prefix) at boot.
 // "queryresult" is a pcnserve POST /query response, checked for schema,
 // positional key/value consistency, strictly ascending group order and
-// count-sum consistency. CI pipes smoke runs of all four through it so
-// any drift between the emitted documents and the published schemas
-// fails the build.
+// count-sum consistency. "partial" is a cluster partial-result envelope
+// (cluster.PartialDoc JSON): the wire schema, the envelope fields, and
+// the embedded self-checking payload are all validated, including
+// envelope↔payload agreement on the slice geometry. CI pipes smoke runs
+// of the document kinds through it so any drift between the emitted
+// documents and the published schemas fails the build.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/results"
 	"repro/locman"
@@ -40,7 +44,7 @@ func main() {
 	log.SetPrefix("schemacheck: ")
 
 	kind := flag.String("kind", "report",
-		"document kind on stdin: report (pcnsim -json), job (pcnserve job document), journal (pcnserve job journal), or queryresult (pcnserve /query response)")
+		"document kind on stdin: report (pcnsim -json), job (pcnserve job document), journal (pcnserve job journal), queryresult (pcnserve /query response), or partial (cluster partial-result envelope)")
 	flag.Parse()
 
 	if *kind == "journal" {
@@ -90,9 +94,41 @@ func main() {
 		}
 		fmt.Printf("ok: schema %d, %d/%d rows matched, %d groups × %d aggregates\n",
 			q.Schema, q.RowsMatched, q.RowsScanned, len(q.Groups), len(q.Aggregates))
+	case "partial":
+		var d cluster.PartialDoc
+		if err := dec.Decode(&d); err != nil {
+			log.Fatalf("document does not match cluster.PartialDoc: %v", err)
+		}
+		p, err := checkPartial(&d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ok: schema %d, job %s node %s, shards [%d,%d) of %d, %d slots, seed %d\n",
+			d.Schema, d.Job, d.Node, d.Lo, d.Hi, d.Shards, p.Slots, p.Seed)
 	default:
-		log.Fatalf("unknown -kind %q (valid kinds: report, job, journal, queryresult)", *kind)
+		log.Fatalf("unknown -kind %q (valid kinds: report, job, journal, queryresult, partial)", *kind)
 	}
+}
+
+// checkPartial enforces the invariants every well-formed cluster
+// partial envelope satisfies: complete envelope identity fields, and a
+// payload that decodes, self-validates and agrees with the envelope —
+// the same gauntlet a coordinator runs before merging.
+func checkPartial(d *cluster.PartialDoc) (*locman.Partial, error) {
+	if d.Job == "" {
+		return nil, fmt.Errorf("partial envelope without a job id")
+	}
+	if d.Node == "" {
+		return nil, fmt.Errorf("partial envelope without a node id")
+	}
+	if d.SpecRev == "" {
+		return nil, fmt.Errorf("partial envelope without a spec revision")
+	}
+	p, err := d.Decode()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // checkJob enforces the invariants every well-formed job document

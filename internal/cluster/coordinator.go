@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/locman"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultLeaseTimeout is how long a slice stream may stay silent (no
+	// frame at all) before the coordinator declares the lease dead.
+	// Workers emit progress frames every few hundred milliseconds, so
+	// the watchdog only fires on a genuinely gone worker.
+	DefaultLeaseTimeout = 15 * time.Second
+	// DefaultMaxAttempts bounds how many times one slice is re-leased
+	// before the whole job fails.
+	DefaultMaxAttempts = 8
+	// DefaultPollEvery is the cadence at which a coordinator with no
+	// alive workers re-checks the registry.
+	DefaultPollEvery = 100 * time.Millisecond
+)
+
+// Options tunes a Coordinator. The zero value selects every default.
+type Options struct {
+	LeaseTimeout time.Duration
+	MaxAttempts  int
+	PollEvery    time.Duration
+	// Client issues the slice requests. It must not set a global
+	// timeout: slice responses are long-lived streams, and the lease
+	// watchdog already bounds silence.
+	Client *http.Client
+}
+
+// Coordinator drives distributed jobs: it implements jobs.Runner, so a
+// jobs.Manager built with Options.Runner pointing here keeps its whole
+// lifecycle (queueing, journal, results, reports) while the simulate
+// step fans out across the registered workers. The determinism contract
+// of jobs.Runner holds because every worker computes positionally-seeded
+// shards and MergeNetworkPartials re-folds them in global order — see
+// the package comment.
+type Coordinator struct {
+	reg  *Registry
+	opts Options
+
+	mu       sync.Mutex
+	leaseSeq int64
+	leases   map[int64]LeaseStatus
+	inflight map[string]int // node id → active leases
+	releases int64
+}
+
+// NewCoordinator builds a coordinator over a worker registry.
+func NewCoordinator(reg *Registry, opts Options) *Coordinator {
+	if opts.LeaseTimeout <= 0 {
+		opts.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	if opts.PollEvery <= 0 {
+		opts.PollEvery = DefaultPollEvery
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	return &Coordinator{
+		reg:      reg,
+		opts:     opts,
+		leases:   make(map[int64]LeaseStatus),
+		inflight: make(map[string]int),
+	}
+}
+
+// Registry returns the worker registry the coordinator leases from.
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// LeaseStatus is one active lease's row in the /cluster document.
+type LeaseStatus struct {
+	Job  string `json:"job"`
+	Node string `json:"node"`
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+}
+
+// Status is the /cluster document: the full node table, the active
+// leases, and the total number of leases that ended without a partial
+// and were re-queued.
+type Status struct {
+	Schema   int           `json:"schema"`
+	Nodes    []NodeStatus  `json:"nodes"`
+	Leases   []LeaseStatus `json:"leases"`
+	Releases int64         `json:"releases"`
+}
+
+// Status snapshots the cluster for /cluster and the Prometheus
+// exposition.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	leases := make([]LeaseStatus, 0, len(c.leases))
+	for _, l := range c.leases {
+		leases = append(leases, l)
+	}
+	releases := c.releases
+	c.mu.Unlock()
+	// Sort for a stable document: by slice start, then node.
+	for i := 1; i < len(leases); i++ {
+		for j := i; j > 0 && (leases[j].Lo < leases[j-1].Lo ||
+			(leases[j].Lo == leases[j-1].Lo && leases[j].Node < leases[j-1].Node)); j-- {
+			leases[j], leases[j-1] = leases[j-1], leases[j]
+		}
+	}
+	return Status{Schema: WireSchema, Nodes: c.reg.Status(), Leases: leases, Releases: releases}
+}
+
+// slice is one unit of pending work: shards [lo, hi), how many leases it
+// has burned, and the node that failed it last. A killed worker looks
+// alive until its heartbeats age out, so without steering a re-lease away
+// from lastNode the coordinator could burn every attempt on fast
+// connection-refused failures inside the liveness window.
+type slice struct {
+	lo, hi   int
+	attempts int
+	lastNode string
+}
+
+type leaseResult struct {
+	sl   slice
+	node string
+	p    *locman.Partial
+	err  error
+}
+
+// Run executes one job across the cluster and returns metrics
+// bit-identical to a single-node locman.SimulateNetworkSharded of the
+// same Spec. Slices are leased to alive workers; a lease that ends
+// without a valid partial (worker death, stream loss, mismatched
+// delivery) puts its slice back in the pending set, so the job survives
+// any worker loss as long as some worker remains to finish the work.
+func (c *Coordinator) Run(ctx context.Context, rc jobs.RunContext) (*locman.NetworkMetrics, error) {
+	spec := rc.Spec
+	cfg, err := spec.NetworkConfig()
+	if err != nil {
+		return nil, err
+	}
+	shards := spec.ResolvedShards()
+	rev := SpecRevision(spec, shards)
+	rc.Progress.Init(shards)
+
+	// Plan the initial partition: one contiguous slice per alive worker
+	// (capped at one shard per slice). Workers that join later still
+	// participate via re-leases.
+	alive, err := c.waitWorkers(ctx)
+	if err != nil {
+		return nil, err
+	}
+	nSlices := len(alive)
+	if nSlices > shards {
+		nSlices = shards
+	}
+	pending := make([]slice, 0, nSlices)
+	for i := 0; i < nSlices; i++ {
+		pending = append(pending, slice{lo: i * shards / nSlices, hi: (i + 1) * shards / nSlices})
+	}
+
+	results := make(chan leaseResult)
+	parts := make([]*locman.Partial, 0, nSlices)
+	active := 0
+	for len(parts) < nSlices {
+		// Dispatch everything pending to the least-loaded alive nodes.
+		for len(pending) > 0 {
+			sl := pending[0]
+			node := c.pickNode(sl.lastNode)
+			if node.ID == "" {
+				break
+			}
+			pending = pending[1:]
+			active++
+			c.grant(rc, node, sl, rev)
+			req := SliceRequest{
+				Schema: WireSchema, Job: rc.ID, SpecRev: rev, Spec: spec,
+				Shards: shards, Lo: sl.lo, Hi: sl.hi,
+			}
+			go func(sl slice, node Node) {
+				p, err := c.lease(ctx, rc, req, node)
+				select {
+				case results <- leaseResult{sl: sl, node: node.ID, p: p, err: err}:
+				case <-ctx.Done():
+				}
+			}(sl, node)
+		}
+		if active == 0 {
+			// Nothing running and work still pending: no alive workers.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(c.opts.PollEvery):
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case r := <-results:
+			active--
+			c.release(rc, r)
+			if r.err != nil {
+				c.reg.noteFailure(r.node)
+				r.sl.attempts++
+				if r.sl.attempts >= c.opts.MaxAttempts {
+					return nil, fmt.Errorf("cluster: slice [%d,%d) failed %d times, last: %w",
+						r.sl.lo, r.sl.hi, r.sl.attempts, r.err)
+				}
+				r.sl.lastNode = r.node
+				pending = append(pending, r.sl)
+				continue
+			}
+			c.reg.notePartial(r.node)
+			parts = append(parts, r.p)
+		}
+	}
+	return locman.MergeNetworkPartials(cfg, spec.Slots, shards, parts)
+}
+
+// waitWorkers blocks until the registry has at least one alive node.
+func (c *Coordinator) waitWorkers(ctx context.Context) ([]Node, error) {
+	for {
+		if alive := c.reg.Alive(); len(alive) > 0 {
+			return alive, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cluster: no alive workers: %w", ctx.Err())
+		case <-time.After(c.opts.PollEvery):
+		}
+	}
+}
+
+// pickNode returns the alive node with the fewest active leases,
+// steering around avoid (the node that last failed the slice) unless it
+// is the only node alive. Returns a zero Node when none is alive.
+func (c *Coordinator) pickNode(avoid string) Node {
+	alive := c.reg.Alive()
+	if len(alive) == 0 {
+		return Node{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best := Node{}
+	for _, n := range alive {
+		if n.ID == avoid {
+			continue
+		}
+		if best.ID == "" || c.inflight[n.ID] < c.inflight[best.ID] {
+			best = n
+		}
+	}
+	if best.ID == "" {
+		best = alive[0]
+	}
+	return best
+}
+
+// grant records a new lease: the status table, the per-node dispatch
+// counter, and a KindDispatch journal record.
+func (c *Coordinator) grant(rc jobs.RunContext, node Node, sl slice, rev string) {
+	c.mu.Lock()
+	c.leaseSeq++
+	c.leases[c.leaseSeq] = LeaseStatus{Job: rc.ID, Node: node.ID, Lo: sl.lo, Hi: sl.hi}
+	c.inflight[node.ID]++
+	c.mu.Unlock()
+	c.reg.noteDispatch(node.ID)
+	if rc.Journal != nil {
+		rc.Journal(jobs.Record{Kind: jobs.KindDispatch, Job: rc.ID, Node: node.ID, Lo: sl.lo, Hi: sl.hi})
+	}
+}
+
+// release retires a lease from the status table; a failed lease also
+// bumps the release counter and journals the KindLease edge with its
+// failure reason.
+func (c *Coordinator) release(rc jobs.RunContext, r leaseResult) {
+	c.mu.Lock()
+	for id, l := range c.leases {
+		if l.Node == r.node && l.Lo == r.sl.lo && l.Hi == r.sl.hi && l.Job == rc.ID {
+			delete(c.leases, id)
+			break
+		}
+	}
+	if c.inflight[r.node] > 0 {
+		c.inflight[r.node]--
+	}
+	if r.err != nil {
+		c.releases++
+	}
+	c.mu.Unlock()
+	if r.err != nil && rc.Journal != nil {
+		rc.Journal(jobs.Record{
+			Kind: jobs.KindLease, Job: rc.ID, Node: r.node,
+			Lo: r.sl.lo, Hi: r.sl.hi, Error: r.err.Error(),
+		})
+	}
+}
+
+// lease runs one slice on one worker: POST the request, relay progress
+// frames into the job's telemetry, and return the validated partial. A
+// watchdog cancels the request if the stream stays silent longer than
+// the lease timeout, which is how a dead worker's lease expires — frames
+// of any type reset it.
+func (c *Coordinator) lease(ctx context.Context, rc jobs.RunContext, req SliceRequest, node Node) (*locman.Partial, error) {
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	watchdog := time.AfterFunc(c.opts.LeaseTimeout, cancel)
+	defer watchdog.Stop()
+	expired := func(err error) error {
+		if lctx.Err() != nil && ctx.Err() == nil {
+			return fmt.Errorf("cluster: node %s: lease expired after %s of silence on shards [%d,%d)",
+				node.ID, c.opts.LeaseTimeout, req.Lo, req.Hi)
+		}
+		return err
+	}
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(lctx, http.MethodPost, node.Addr+"/api/v1/slices", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.opts.Client.Do(hreq)
+	if err != nil {
+		return nil, expired(fmt.Errorf("cluster: node %s: %w", node.ID, err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: node %s rejected shards [%d,%d): %s: %s",
+			node.ID, req.Lo, req.Hi, resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var f SliceFrame
+		if err := dec.Decode(&f); err != nil {
+			return nil, expired(fmt.Errorf("cluster: node %s: slice stream: %w", node.ID, err))
+		}
+		watchdog.Reset(c.opts.LeaseTimeout)
+		switch f.Type {
+		case FrameProgress:
+			for _, s := range f.Shards {
+				if s.Shard >= req.Lo && s.Shard < req.Hi {
+					rc.Progress.Set(s.Shard, s.Slot, s.Work, s.Events)
+				}
+			}
+		case FramePartial:
+			if f.Partial == nil {
+				return nil, fmt.Errorf("cluster: node %s: partial frame without a partial", node.ID)
+			}
+			return c.acceptPartial(node.ID, req, f.Partial)
+		case FrameError:
+			return nil, fmt.Errorf("cluster: node %s failed shards [%d,%d) remotely: %s",
+				node.ID, req.Lo, req.Hi, f.Error)
+		default:
+			return nil, fmt.Errorf("cluster: node %s: unknown slice frame type %q", node.ID, f.Type)
+		}
+	}
+}
+
+// acceptPartial admits a delivered partial into the job, or rejects it
+// with a typed *MismatchError when it does not describe the lease — the
+// wire-layer surface of the merge layer's slot-mismatch rejection. A
+// rejected partial fails the lease, so the slice is re-dispatched rather
+// than merged wrong.
+func (c *Coordinator) acceptPartial(nodeID string, req SliceRequest, doc *PartialDoc) (*locman.Partial, error) {
+	mism := func(field, got, want string) error {
+		return &MismatchError{Node: nodeID, Job: req.Job, Field: field, Got: got, Want: want}
+	}
+	if doc.Job != req.Job {
+		return nil, mism("job", doc.Job, req.Job)
+	}
+	if doc.SpecRev != req.SpecRev {
+		return nil, mism("spec_rev", doc.SpecRev, req.SpecRev)
+	}
+	if doc.Shards != req.Shards {
+		return nil, mism("shards", fmt.Sprint(doc.Shards), fmt.Sprint(req.Shards))
+	}
+	if doc.Lo != req.Lo || doc.Hi != req.Hi {
+		return nil, mism("slice",
+			fmt.Sprintf("[%d,%d)", doc.Lo, doc.Hi), fmt.Sprintf("[%d,%d)", req.Lo, req.Hi))
+	}
+	p, err := doc.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %s: %w", nodeID, err)
+	}
+	if p.Slots != req.Spec.Slots {
+		return nil, mism("slots", fmt.Sprint(p.Slots), fmt.Sprint(req.Spec.Slots))
+	}
+	if p.Seed != req.Spec.Seed {
+		return nil, mism("seed", fmt.Sprint(p.Seed), fmt.Sprint(req.Spec.Seed))
+	}
+	return p, nil
+}

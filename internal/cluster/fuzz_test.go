@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/locman"
+)
+
+// validPartialDoc builds one genuine wire envelope for the fuzz corpus.
+func validPartialDoc(t testing.TB) []byte {
+	t.Helper()
+	spec := testSpec()
+	spec.Slots = 50
+	cfg, err := spec.NetworkConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := locman.SimulateNetworkSlice(context.Background(), cfg, spec.Slots, 5, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := locman.EncodePartial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := json.Marshal(PartialDoc{
+		Schema: WireSchema, Job: "j1", Node: "n001",
+		SpecRev: SpecRevision(spec, 5), Shards: 5, Lo: 1, Hi: 3, Data: data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// FuzzPartialDocDecode hammers the partial-result wire path a
+// coordinator exposes to worker-supplied bytes: whatever arrives, Decode
+// must return a validated partial or an error — never panic, and never
+// accept an envelope that disagrees with its payload.
+func FuzzPartialDocDecode(f *testing.F) {
+	seed := validPartialDoc(f)
+	f.Add(seed)
+	// A handful of structured corruptions so coverage starts beyond the
+	// JSON layer: truncated payload, flipped payload byte, envelope lies.
+	var doc PartialDoc
+	if err := json.Unmarshal(seed, &doc); err != nil {
+		f.Fatal(err)
+	}
+	truncated := doc
+	truncated.Data = doc.Data[:len(doc.Data)/2]
+	if b, err := json.Marshal(truncated); err == nil {
+		f.Add(b)
+	}
+	flipped := doc
+	flipped.Data = append([]byte(nil), doc.Data...)
+	flipped.Data[len(flipped.Data)/2] ^= 0x40
+	if b, err := json.Marshal(flipped); err == nil {
+		f.Add(b)
+	}
+	lying := doc
+	lying.Lo, lying.Hi = 0, 5
+	if b, err := json.Marshal(lying); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"schema":1,"job":"j","node":"n","spec_rev":"r0","shards":1,"lo":0,"hi":1,"data":""}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d PartialDoc
+		if err := json.Unmarshal(data, &d); err != nil {
+			return
+		}
+		p, err := d.Decode()
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("Decode returned neither a partial nor an error")
+		}
+		// Anything Decode admits must agree with its envelope and pass
+		// the structural validator — the merge layer's precondition.
+		if p.Shards != d.Shards || p.Lo != d.Lo || p.Hi != d.Hi {
+			t.Fatalf("Decode accepted a lying envelope: payload [%d,%d)/%d, envelope [%d,%d)/%d",
+				p.Lo, p.Hi, p.Shards, d.Lo, d.Hi, d.Shards)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid partial: %v", err)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrUnknownNode reports a heartbeat for a node id the registry does not
+// know — a coordinator restart lost the registration, or the id was
+// never issued. Workers respond by re-registering.
+var ErrUnknownNode = errors.New("cluster: unknown node")
+
+// Registry is the coordinator's worker-node table: who has joined, where
+// to reach them, when they last heartbeat, and their per-node dispatch
+// counters. A node is alive while its last heartbeat is within the
+// configured timeout; the coordinator leases slices only to alive nodes
+// and treats silence on an open slice stream as lease expiry (see
+// Coordinator), so the registry's timeout only gates new leases.
+type Registry struct {
+	mu      sync.Mutex
+	clock   func() time.Time
+	timeout time.Duration
+	seq     int
+	nodes   map[string]*node // by id
+	byAddr  map[string]string
+}
+
+type node struct {
+	id, addr   string
+	registered time.Time
+	lastBeat   time.Time
+
+	dispatches int64
+	partials   int64
+	failures   int64
+}
+
+// DefaultHeartbeatTimeout is how long after its last heartbeat a node
+// still counts as alive when NewRegistry is given no timeout.
+const DefaultHeartbeatTimeout = 5 * time.Second
+
+// NewRegistry builds a registry. timeout <= 0 selects
+// DefaultHeartbeatTimeout; a nil clock selects time.Now (injectable for
+// tests, like jobs.Options.Clock).
+func NewRegistry(timeout time.Duration, clock func() time.Time) *Registry {
+	if timeout <= 0 {
+		timeout = DefaultHeartbeatTimeout
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Registry{
+		clock:   clock,
+		timeout: timeout,
+		nodes:   make(map[string]*node),
+		byAddr:  make(map[string]string),
+	}
+}
+
+// Register admits a worker reachable at addr (a http:// or https:// base
+// URL) and returns its node id. Re-registering the same address — a
+// restarted worker, or one whose id the coordinator forgot — refreshes
+// the existing node and returns its id, so counters survive reconnects
+// and the table cannot grow past the set of distinct addresses.
+func (r *Registry) Register(addr string) (string, error) {
+	u, err := url.Parse(addr)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("cluster: node address %q is not an http(s) base URL", addr)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	if id, ok := r.byAddr[addr]; ok {
+		n := r.nodes[id]
+		n.lastBeat = now
+		return id, nil
+	}
+	r.seq++
+	id := fmt.Sprintf("n%03d", r.seq)
+	r.nodes[id] = &node{id: id, addr: addr, registered: now, lastBeat: now}
+	r.byAddr[addr] = id
+	return id, nil
+}
+
+// Heartbeat refreshes a node's liveness; ErrUnknownNode tells the worker
+// to re-register.
+func (r *Registry) Heartbeat(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[id]
+	if !ok {
+		return ErrUnknownNode
+	}
+	n.lastBeat = r.clock()
+	return nil
+}
+
+// Node is one alive node's lease target, as returned by Alive.
+type Node struct {
+	ID   string
+	Addr string
+}
+
+// Alive returns the nodes whose last heartbeat is within the timeout,
+// sorted by id for deterministic iteration.
+func (r *Registry) Alive() []Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	dead := r.clock().Add(-r.timeout)
+	var out []Node
+	for _, n := range r.nodes {
+		if !n.lastBeat.Before(dead) {
+			out = append(out, Node{ID: n.id, Addr: n.addr})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (r *Registry) note(id string, f func(*node)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[id]; ok {
+		f(n)
+	}
+}
+
+func (r *Registry) noteDispatch(id string) { r.note(id, func(n *node) { n.dispatches++ }) }
+func (r *Registry) notePartial(id string)  { r.note(id, func(n *node) { n.partials++ }) }
+func (r *Registry) noteFailure(id string)  { r.note(id, func(n *node) { n.failures++ }) }
+
+// NodeStatus is one node's row in the /cluster status document and the
+// label source for the per-node Prometheus series.
+type NodeStatus struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	// SinceHeartbeatMS is the age of the last heartbeat in milliseconds.
+	SinceHeartbeatMS int64 `json:"since_heartbeat_ms"`
+	// Dispatches counts slices leased to the node, Partials the partial
+	// results it delivered, Failures the leases that ended without one.
+	Dispatches int64 `json:"dispatches"`
+	Partials   int64 `json:"partials"`
+	Failures   int64 `json:"failures"`
+}
+
+// Status returns every known node's row, sorted by id.
+func (r *Registry) Status() []NodeStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.clock()
+	out := make([]NodeStatus, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, NodeStatus{
+			ID:               n.id,
+			Addr:             n.addr,
+			Alive:            now.Sub(n.lastBeat) <= r.timeout,
+			SinceHeartbeatMS: now.Sub(n.lastBeat).Milliseconds(),
+			Dispatches:       n.dispatches,
+			Partials:         n.partials,
+			Failures:         n.failures,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -49,6 +49,17 @@ const (
 	// in their own atomically-replaced file, so replay never depends on
 	// this record.
 	KindCheckpoint = "checkpoint"
+	// KindDispatch records a distributed coordinator leasing a shard
+	// slice [Lo, Hi) of a job to a worker node; KindLease records that
+	// lease ending without a partial result (worker death, stream loss,
+	// a mismatched partial) and the slice returning to the pending set
+	// for re-dispatch. Both are informational, like KindCheckpoint: a
+	// coordinator recovering from a crash re-runs the job's dispatch
+	// from scratch (the replay re-queues the job), so replay never
+	// depends on them — but the journal then carries the full lease
+	// history of every job for post-mortems.
+	KindDispatch = "dispatch"
+	KindLease    = "lease"
 )
 
 // Record is one journal entry. Seq is assigned by the journal and
@@ -73,6 +84,13 @@ type Record struct {
 
 	// Checkpoint payload: the slot boundary the checkpoint covers.
 	Slot int64 `json:"slot,omitempty"`
+
+	// Dispatch/lease payload: the worker node and the shard slice
+	// [Lo, Hi) leased to it. Error (shared with the state payload above)
+	// carries the lease's failure reason on KindLease records.
+	Node string `json:"node,omitempty"`
+	Lo   int    `json:"lo,omitempty"`
+	Hi   int    `json:"hi,omitempty"`
 }
 
 // envelope is the on-disk line framing: the raw record bytes plus their
@@ -117,6 +135,13 @@ func validateRecord(rec *Record, prevSeq int64) error {
 	case KindCheckpoint:
 		if rec.Slot <= 0 {
 			return fmt.Errorf("jobs: checkpoint record at slot %d", rec.Slot)
+		}
+	case KindDispatch, KindLease:
+		if rec.Node == "" {
+			return fmt.Errorf("jobs: %s record without a node id", rec.Kind)
+		}
+		if rec.Lo < 0 || rec.Hi <= rec.Lo {
+			return fmt.Errorf("jobs: %s record with shard slice [%d,%d)", rec.Kind, rec.Lo, rec.Hi)
 		}
 	default:
 		return fmt.Errorf("jobs: unknown journal record kind %q", rec.Kind)

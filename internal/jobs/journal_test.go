@@ -26,6 +26,10 @@ func journalFixture(t *testing.T) (string, []Record) {
 		{Kind: KindSubmit, Job: "j000001", Spec: &spec},
 		{Kind: KindState, Job: "j000001", From: StateQueued, To: StateRunning},
 		{Kind: KindCheckpoint, Job: "j000001", Slot: 1_000},
+		{Kind: KindDispatch, Job: "j000001", Node: "n001", Lo: 0, Hi: 3},
+		{Kind: KindLease, Job: "j000001", Node: "n001", Lo: 0, Hi: 3,
+			Error: "cluster: node n001: slice stream: unexpected EOF"},
+		{Kind: KindDispatch, Job: "j000001", Node: "n002", Lo: 0, Hi: 3},
 		{Kind: KindResult, Job: "j000001", Result: []byte(`{"schema":1}` + "\n")},
 		{Kind: KindState, Job: "j000001", From: StateRunning, To: StateDone},
 	}
@@ -65,8 +69,16 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 	// The result bytes must round-trip exactly: the byte-identity
 	// guarantee is stated over them.
-	if got := recs[3].Result; !bytes.Equal(got, appended[3].Result) {
+	if got := recs[6].Result; !bytes.Equal(got, appended[6].Result) {
 		t.Errorf("result bytes changed across the journal: %q", got)
+	}
+	// The lease-history payload must round-trip too: node, slice and
+	// the failure reason on the lease edge.
+	if d := recs[3]; d.Node != "n001" || d.Lo != 0 || d.Hi != 3 {
+		t.Errorf("dispatch record did not round-trip: %+v", d)
+	}
+	if l := recs[4]; l.Node != "n001" || l.Error != appended[4].Error {
+		t.Errorf("lease record did not round-trip: %+v", l)
 	}
 	if recs[0].Spec == nil || recs[0].Spec.Terminals != testSpec().Terminals {
 		t.Errorf("submit spec did not round-trip: %+v", recs[0].Spec)
@@ -139,6 +151,98 @@ func TestJournalTruncatedTail(t *testing.T) {
 		}
 	}
 	_ = path
+
+	// The same guarantee when the crash lands mid-lease: a journal whose
+	// final line is a partially-written lease record (a coordinator dying
+	// while journaling a worker death) must recover everything before it
+	// and stay appendable.
+	leaseTail := filepath.Join(t.TempDir(), "journal.ndjson")
+	jl, _, err := OpenJournal(leaseTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	for _, rec := range []Record{
+		{Kind: KindSubmit, Job: "j000002", Spec: &spec},
+		{Kind: KindState, Job: "j000002", From: StateQueued, To: StateRunning},
+		{Kind: KindDispatch, Job: "j000002", Node: "n001", Lo: 2, Hi: 5},
+		{Kind: KindLease, Job: "j000002", Node: "n001", Lo: 2, Hi: 5,
+			Error: "cluster: node n001: lease expired after 15s of silence on shards [2,5)"},
+	} {
+		rec.Time = time.Unix(1_700_000_000, 0).UTC()
+		if err := jl.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jl.Close()
+	full := mustRead(t, leaseTail)
+	leaseStart := bytes.LastIndexByte(full[:len(full)-1], '\n') + 1
+	for cut := leaseStart; cut < len(full); cut++ {
+		torn := filepath.Join(t.TempDir(), "journal.ndjson")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jl, recs, err := OpenJournal(torn)
+		if err != nil {
+			t.Fatalf("lease cut at %d: %v", cut, err)
+		}
+		if len(recs) != 3 || recs[2].Kind != KindDispatch {
+			t.Fatalf("lease cut at %d: recovered %d records (last %q), want 3 ending in dispatch",
+				cut, len(recs), recs[len(recs)-1].Kind)
+		}
+		// The re-dispatch of the orphaned slice lands on a clean line.
+		if err := jl.Append(Record{Kind: KindDispatch, Job: "j000002", Node: "n002",
+			Lo: 2, Hi: 5, Time: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+		jl.Close()
+		if _, err := CheckJournal(mustRead(t, torn)); err != nil {
+			t.Errorf("lease cut at %d: journal not clean after truncate+append: %v", cut, err)
+		}
+	}
+}
+
+// TestJournalRejectsMalformedLeaseRecords holds both the append path and
+// replay to the dispatch/lease payload invariants: a node id is
+// mandatory and the shard slice must be non-empty.
+func TestJournalRejectsMalformedLeaseRecords(t *testing.T) {
+	bad := map[string]Record{
+		"dispatch-no-node":  {Kind: KindDispatch, Job: "j1", Lo: 0, Hi: 2},
+		"lease-no-node":     {Kind: KindLease, Job: "j1", Lo: 0, Hi: 2, Error: "x"},
+		"dispatch-empty":    {Kind: KindDispatch, Job: "j1", Node: "n001", Lo: 3, Hi: 3},
+		"dispatch-inverted": {Kind: KindDispatch, Job: "j1", Node: "n001", Lo: 4, Hi: 2},
+		"lease-negative-lo": {Kind: KindLease, Job: "j1", Node: "n001", Lo: -1, Hi: 2, Error: "x"},
+	}
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	jl, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Close()
+	for name, rec := range bad {
+		rec.Time = time.Now()
+		if err := jl.Append(rec); err == nil {
+			t.Errorf("%s: Append accepted the record", name)
+		}
+		rec.Schema = JournalSchema
+		rec.Seq = 1
+		line, err := encodeRecord(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recs, _, _ := ReplayJournal(bytes.NewReader(line)); len(recs) != 0 {
+			t.Errorf("%s: replay accepted the record", name)
+		}
+	}
+	// The well-formed versions pass both paths.
+	if err := jl.Append(Record{Kind: KindDispatch, Job: "j1", Node: "n001",
+		Lo: 0, Hi: 2, Time: time.Now()}); err != nil {
+		t.Errorf("well-formed dispatch rejected: %v", err)
+	}
+	if err := jl.Append(Record{Kind: KindLease, Job: "j1", Node: "n001",
+		Lo: 0, Hi: 2, Error: "worker died", Time: time.Now()}); err != nil {
+		t.Errorf("well-formed lease rejected: %v", err)
+	}
 }
 
 func mustRead(t *testing.T, path string) []byte {
@@ -198,6 +302,8 @@ func FuzzJournalReplay(f *testing.F) {
 		{Kind: KindSubmit, Job: "j000001", Spec: &spec},
 		{Kind: KindState, Job: "j000001", From: StateQueued, To: StateRunning},
 		{Kind: KindCheckpoint, Job: "j000001", Slot: 1_000},
+		{Kind: KindDispatch, Job: "j000001", Node: "n001", Lo: 0, Hi: 2},
+		{Kind: KindLease, Job: "j000001", Node: "n001", Lo: 0, Hi: 2, Error: "unexpected EOF"},
 		{Kind: KindResult, Job: "j000001", Result: []byte(`{"schema":1}` + "\n")},
 		{Kind: KindState, Job: "j000001", From: StateRunning, To: StateDone},
 	} {

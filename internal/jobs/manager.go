@@ -78,6 +78,12 @@ type Options struct {
 	// the table holds exactly the done jobs, however the process got
 	// there.
 	Results *results.Store
+	// Runner, when non-nil, executes jobs instead of the in-process
+	// engines — the distributed coordinator path. Checkpoint capture and
+	// resume (CheckpointEvery) do not apply to runner-executed jobs; an
+	// interrupted job is simply re-dispatched from slot 0 on recovery,
+	// with a byte-identical result either way.
+	Runner Runner
 }
 
 // job is the Manager's internal record of one submission. All mutable
@@ -342,6 +348,16 @@ func (m *Manager) appendLocked(rec Record) error {
 	return nil
 }
 
+// appendRecord journals one record on behalf of a Runner (dispatch and
+// lease edges), taking the manager lock the runner does not hold.
+// Best-effort like every post-boot append: failures are counted, never
+// surfaced.
+func (m *Manager) appendRecord(rec Record) {
+	m.mu.Lock()
+	m.appendLocked(rec)
+	m.mu.Unlock()
+}
+
 // Submit validates the spec and enqueues a new job, returning its view.
 // The queue is the backpressure boundary: a full queue rejects with
 // ErrQueueFull immediately rather than blocking the caller or growing
@@ -503,14 +519,28 @@ func (m *Manager) backfillResultLocked(j *job) {
 // the identical bytes (the sim layer's checkpoint-equivalence property),
 // so crash recovery is invisible in the result.
 func (m *Manager) runSpec(ctx context.Context, id string, spec Spec, prog *telemetry.Progress) (*locman.Report, []byte, error) {
-	cfg, err := spec.NetworkConfig()
-	if err != nil {
-		return nil, nil, err
-	}
-	cfg.Progress = prog
-	metrics, err := m.simulate(ctx, id, cfg, spec)
-	if err != nil {
-		return nil, nil, err
+	var metrics *locman.NetworkMetrics
+	if m.opts.Runner != nil {
+		var err error
+		metrics, err = m.opts.Runner.Run(ctx, RunContext{
+			ID:       id,
+			Spec:     spec,
+			Progress: prog,
+			Journal:  m.appendRecord,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		cfg, err := spec.NetworkConfig()
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Progress = prog
+		metrics, err = m.simulate(ctx, id, cfg, spec)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	report := locman.NewReport(metrics)
 	var buf bytes.Buffer

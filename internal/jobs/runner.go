@@ -1,0 +1,37 @@
+package jobs
+
+import (
+	"context"
+
+	"repro/internal/telemetry"
+	"repro/locman"
+)
+
+// Runner replaces the manager's in-process simulation with an external
+// execution strategy — the distributed coordinator is the one
+// implementation. The determinism contract is unchanged: Run must return
+// NetworkMetrics bit-identical to locman.SimulateNetworkSharded invoked
+// directly with the Spec's configuration, so the job's report bytes stay
+// byte-identical to pcnsim -json regardless of where the shards ran. The
+// manager still owns the whole job lifecycle (queueing, states, journal,
+// results); the runner owns only the simulate step.
+type Runner interface {
+	Run(ctx context.Context, rc RunContext) (*locman.NetworkMetrics, error)
+}
+
+// RunContext is everything the manager hands a Runner for one job.
+type RunContext struct {
+	// ID is the job id; Spec its full descriptor.
+	ID   string
+	Spec Spec
+	// Progress receives live per-shard counters, indexed by global shard;
+	// the runner should Init it for the run's resolved shard count and
+	// relay worker progress into it so /stream and /metrics see a
+	// distributed run exactly like a local one.
+	Progress *telemetry.Progress
+	// Journal appends one informational record (dispatch/lease edges) to
+	// the job journal, best-effort: failures are counted in the
+	// manager's stats, never surfaced here. Nil when the manager has no
+	// journal (no DataDir).
+	Journal func(rec Record)
+}

@@ -131,4 +131,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP pcnserve_results_errors_total Analytics rows that failed to flatten, ingest or persist.\n")
 	fmt.Fprintf(w, "# TYPE pcnserve_results_errors_total counter\n")
 	fmt.Fprintf(w, "pcnserve_results_errors_total %d\n", st.ResultsErrors)
+	s.writeClusterMetrics(w)
+}
+
+// writeClusterMetrics appends the coordinator's per-node series and the
+// worker's lease counters; both blocks are absent on a plain
+// single-node daemon, so its exposition is unchanged.
+func (s *Server) writeClusterMetrics(w http.ResponseWriter) {
+	if c := s.opts.Cluster; c != nil {
+		status := c.Status()
+		fmt.Fprintf(w, "# HELP pcnserve_cluster_nodes Worker nodes known to the coordinator.\n")
+		fmt.Fprintf(w, "# TYPE pcnserve_cluster_nodes gauge\n")
+		fmt.Fprintf(w, "pcnserve_cluster_nodes %d\n", len(status.Nodes))
+		fmt.Fprintf(w, "# HELP pcnserve_cluster_active_leases Shard slices currently leased to workers.\n")
+		fmt.Fprintf(w, "# TYPE pcnserve_cluster_active_leases gauge\n")
+		fmt.Fprintf(w, "pcnserve_cluster_active_leases %d\n", len(status.Leases))
+		fmt.Fprintf(w, "# HELP pcnserve_cluster_releases_total Leases that ended without a partial and were re-queued.\n")
+		fmt.Fprintf(w, "# TYPE pcnserve_cluster_releases_total counter\n")
+		fmt.Fprintf(w, "pcnserve_cluster_releases_total %d\n", status.Releases)
+		fmt.Fprintf(w, "# HELP pcnserve_cluster_node_up Whether the node's last heartbeat is within the liveness timeout.\n")
+		fmt.Fprintf(w, "# TYPE pcnserve_cluster_node_up gauge\n")
+		for _, n := range status.Nodes {
+			fmt.Fprintf(w, "pcnserve_cluster_node_up{node=%q,addr=%q} %d\n", n.ID, n.Addr, boolGauge(n.Alive))
+		}
+		fmt.Fprintf(w, "# HELP pcnserve_cluster_node_dispatches_total Slices leased to the node.\n")
+		fmt.Fprintf(w, "# TYPE pcnserve_cluster_node_dispatches_total counter\n")
+		for _, n := range status.Nodes {
+			fmt.Fprintf(w, "pcnserve_cluster_node_dispatches_total{node=%q} %d\n", n.ID, n.Dispatches)
+		}
+		fmt.Fprintf(w, "# HELP pcnserve_cluster_node_partials_total Partial results the node delivered.\n")
+		fmt.Fprintf(w, "# TYPE pcnserve_cluster_node_partials_total counter\n")
+		for _, n := range status.Nodes {
+			fmt.Fprintf(w, "pcnserve_cluster_node_partials_total{node=%q} %d\n", n.ID, n.Partials)
+		}
+		fmt.Fprintf(w, "# HELP pcnserve_cluster_node_failures_total Leases to the node that ended without a partial.\n")
+		fmt.Fprintf(w, "# TYPE pcnserve_cluster_node_failures_total counter\n")
+		for _, n := range status.Nodes {
+			fmt.Fprintf(w, "pcnserve_cluster_node_failures_total{node=%q} %d\n", n.ID, n.Failures)
+		}
+	}
+	if wk := s.opts.Worker; wk != nil {
+		fmt.Fprintf(w, "# HELP pcnserve_worker_slices_served_total Slice leases this worker completed with a partial.\n")
+		fmt.Fprintf(w, "# TYPE pcnserve_worker_slices_served_total counter\n")
+		fmt.Fprintf(w, "pcnserve_worker_slices_served_total %d\n", wk.SlicesServed())
+		fmt.Fprintf(w, "# HELP pcnserve_worker_slices_failed_total Slice leases this worker failed.\n")
+		fmt.Fprintf(w, "# TYPE pcnserve_worker_slices_failed_total counter\n")
+		fmt.Fprintf(w, "pcnserve_worker_slices_failed_total %d\n", wk.SlicesFailed())
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/results"
 	"repro/internal/telemetry"
@@ -35,6 +36,13 @@ type Options struct {
 	// store the manager ingests done jobs into. Nil disables the endpoint
 	// (503), for deployments that run the manager without analytics.
 	Results *results.Store
+	// Cluster, when set, makes this server the coordinator control
+	// plane: worker register/heartbeat endpoints, the /cluster status
+	// document, and per-node Prometheus series.
+	Cluster *cluster.Coordinator
+	// Worker, when set, exposes the slice lease endpoint this node
+	// serves a coordinator from.
+	Worker *cluster.Worker
 }
 
 // Server serves the job API for one jobs.Manager.
@@ -76,6 +84,14 @@ func New(mgr *jobs.Manager, opts Options) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.Cluster != nil {
+		s.mux.HandleFunc("POST /api/v1/cluster/register", s.handleClusterRegister)
+		s.mux.HandleFunc("POST /api/v1/cluster/heartbeat", s.handleClusterHeartbeat)
+		s.mux.HandleFunc("GET /cluster", s.handleClusterStatus)
+	}
+	if opts.Worker != nil {
+		s.mux.Handle("POST /api/v1/slices", opts.Worker.SliceHandler())
+	}
 	return s
 }
 

@@ -238,7 +238,16 @@ func captureShardCore(n *network, terms []terminal, rngs []stats.RNG,
 		sc.HLR[i] = HLRCheckpoint{Center: rec.center, Seq: rec.seq, Threshold: rec.threshold}
 	}
 
-	m := n.metrics
+	sc.Metrics = exportMetrics(n.metrics)
+	sc.Frames = exportFrames(frames)
+	return sc
+}
+
+// exportMetrics converts a shard's live Metrics into the serializable
+// checkpoint form, deep-copying every reference type (the live run may
+// keep mutating them after the export returns). Shared by checkpoint
+// capture and the partial-result wire path (RunPartial).
+func exportMetrics(m *Metrics) MetricsCheckpoint {
 	mc := MetricsCheckpoint{
 		Updates: m.Updates, Calls: m.Calls, PolledCells: m.PolledCells,
 		UpdateBytes: m.UpdateBytes, PollBytes: m.PollBytes, ReplyBytes: m.ReplyBytes,
@@ -263,9 +272,16 @@ func captureShardCore(n *network, terms []terminal, rngs []stats.RNG,
 			Delay: ts.Delay.State(), Recovery: ts.Recovery.State(),
 		}
 	}
-	sc.Metrics = mc
+	return mc
+}
 
-	sc.Frames = make([]FrameCheckpoint, len(frames))
+// exportFrames converts a telemetry shard-frame series into its
+// serializable form (the inverse of restoreFrames).
+func exportFrames(frames []telemetry.ShardFrame) []FrameCheckpoint {
+	if len(frames) == 0 {
+		return nil
+	}
+	out := make([]FrameCheckpoint, len(frames))
 	for i := range frames {
 		f := &frames[i]
 		fc := FrameCheckpoint{
@@ -281,9 +297,9 @@ func captureShardCore(n *network, terms []terminal, rngs []stats.RNG,
 		for j := range f.Recovery {
 			fc.Recovery[j] = f.Recovery[j].State()
 		}
-		sc.Frames[i] = fc
+		out[i] = fc
 	}
-	return sc
+	return out
 }
 
 // restoreShardCore overlays a shard checkpoint onto freshly-built shard

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/chain"
+)
+
+// partialConfig is a run that exercises every merged surface: faults and
+// recovery (accumulators with real samples), dynamic re-optimization
+// (diverging final thresholds), and the telemetry snapshot series.
+func partialConfig(engine Engine) Config {
+	cfg := baseConfig(chain.TwoDimExact, 0.2, 0.05, 2, 2)
+	cfg.Terminals = 23
+	cfg.Dynamic = true
+	cfg.ReoptimizeEvery = 100
+	cfg.Faults = FaultPlan{UpdateLoss: 0.2, PollLoss: 0.1, ReplyLoss: 0.05, UpdateRetries: 2}
+	cfg.Telemetry.SnapshotEvery = 100
+	cfg.Seed = 42
+	cfg.Engine = engine
+	return cfg
+}
+
+// TestPartialMergeMatchesSharded is the cross-machine determinism
+// contract at the sim layer: running the shard partition in arbitrary
+// contiguous slices via RunPartial — round-tripped through the wire
+// encoding — and folding with MergePartials reproduces the single-node
+// RunSharded Metrics bit for bit, for every engine and slicing.
+func TestPartialMergeMatchesSharded(t *testing.T) {
+	const slots, shards = 400, 5
+	for _, engine := range []Engine{EngineFast, EngineDES, EngineCols} {
+		cfg := partialConfig(engine)
+		want, err := RunSharded(cfg, slots, shards)
+		if err != nil {
+			t.Fatalf("%v: RunSharded: %v", engine, err)
+		}
+		for _, cuts := range [][]int{
+			{0, 5},             // one worker holds everything
+			{0, 1, 2, 3, 4, 5}, // one shard per worker
+			{0, 2, 5},          // uneven two-worker split
+			{0, 4, 5},
+		} {
+			var parts []*Partial
+			for i := 0; i+1 < len(cuts); i++ {
+				p, err := RunPartial(context.Background(), cfg, slots, shards, cuts[i], cuts[i+1])
+				if err != nil {
+					t.Fatalf("%v: RunPartial[%d,%d): %v", engine, cuts[i], cuts[i+1], err)
+				}
+				data, err := EncodePartial(p)
+				if err != nil {
+					t.Fatalf("%v: EncodePartial: %v", engine, err)
+				}
+				rt, err := DecodePartial(data)
+				if err != nil {
+					t.Fatalf("%v: DecodePartial: %v", engine, err)
+				}
+				if err := rt.Validate(); err != nil {
+					t.Fatalf("%v: round-tripped partial invalid: %v", engine, err)
+				}
+				parts = append(parts, rt)
+			}
+			// Merge order must not matter; feed the slices reversed.
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			got, err := MergePartials(cfg, slots, shards, parts)
+			if err != nil {
+				t.Fatalf("%v: MergePartials(%v): %v", engine, cuts, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%v: merged partials over cuts %v differ from single-node run", engine, cuts)
+			}
+		}
+	}
+}
+
+func TestRunPartialRejectsBadSlices(t *testing.T) {
+	cfg := partialConfig(EngineFast)
+	for _, tc := range []struct{ shards, lo, hi int }{
+		{0, 0, 1},   // shards must be explicit
+		{100, 0, 1}, // more shards than terminals
+		{4, -1, 2},
+		{4, 2, 2},
+		{4, 3, 5},
+	} {
+		if _, err := RunPartial(context.Background(), cfg, 10, tc.shards, tc.lo, tc.hi); err == nil {
+			t.Errorf("RunPartial(shards=%d, [%d,%d)) accepted", tc.shards, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestMergePartialsMismatch pins the typed rejection: partials from a
+// different run shape surface as *PartialMismatchError, never as a
+// Metrics.Merge panic or a silently wrong report.
+func TestMergePartialsMismatch(t *testing.T) {
+	const slots, shards = 50, 2
+	cfg := partialConfig(EngineFast)
+	run := func(c Config, slots int64, shards, lo, hi int) *Partial {
+		t.Helper()
+		p, err := RunPartial(context.Background(), c, slots, shards, lo, hi)
+		if err != nil {
+			t.Fatalf("RunPartial: %v", err)
+		}
+		return p
+	}
+	a := run(cfg, slots, shards, 0, 1)
+	b := run(cfg, slots, shards, 1, 2)
+
+	otherSeed := cfg
+	otherSeed.Seed = 7
+	for _, tc := range []struct {
+		name  string
+		parts []*Partial
+		field string
+	}{
+		{"wrong slots", []*Partial{a, run(cfg, slots+1, shards, 1, 2)}, "slots"},
+		{"wrong shards", []*Partial{run(cfg, slots, 3, 0, 3)}, "shards"},
+		{"wrong seed", []*Partial{a, run(otherSeed, slots, shards, 1, 2)}, "seed"},
+		{"duplicate shard", []*Partial{a, a, b}, "coverage"},
+		{"missing shard", []*Partial{a}, "coverage"},
+	} {
+		_, err := MergePartials(cfg, slots, shards, tc.parts)
+		var mis *PartialMismatchError
+		if !errors.As(err, &mis) {
+			t.Errorf("%s: got %v, want *PartialMismatchError", tc.name, err)
+			continue
+		}
+		if mis.Field != tc.field {
+			t.Errorf("%s: mismatch field %q, want %q", tc.name, mis.Field, tc.field)
+		}
+	}
+}
+
+func TestDecodePartialRejectsCorruption(t *testing.T) {
+	p, err := RunPartial(context.Background(), partialConfig(EngineFast), 20, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodePartial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePartial(data[:4]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := DecodePartial(append([]byte("XXNOPE99"), data[8:]...)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := DecodePartial(flipped); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+}
+
+// TestPartialValidate drives the structural checks a hostile or damaged
+// document must fail.
+func TestPartialValidate(t *testing.T) {
+	fresh := func() *Partial {
+		p, err := RunPartial(context.Background(), partialConfig(EngineFast), 20, 3, 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct {
+		name   string
+		break_ func(*Partial)
+	}{
+		{"zero slots", func(p *Partial) { p.Slots = 0 }},
+		{"zero shards", func(p *Partial) { p.Shards = 0 }},
+		{"inverted slice", func(p *Partial) { p.Lo, p.Hi = 2, 1 }},
+		{"slice past shards", func(p *Partial) { p.Hi = 9 }},
+		{"shard count drift", func(p *Partial) { p.Shard = p.Shard[:1] }},
+		{"shard out of place", func(p *Partial) { p.Shard[0].Shard = 0 }},
+		{"empty terminal range", func(p *Partial) { p.Shard[1].Hi = p.Shard[1].Lo }},
+		{"terminal vector drift", func(p *Partial) { p.Shard[0].TotalCost = nil }},
+		{"missing histogram", func(p *Partial) { p.Shard[0].Metrics.DelayHist = nil }},
+		{"frame width drift", func(p *Partial) { p.Shard[0].Frames[0].Delay = nil }},
+	} {
+		p := fresh()
+		tc.break_(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+	if err := fresh().Validate(); err != nil {
+		t.Errorf("pristine partial rejected: %v", err)
+	}
+}
